@@ -1,0 +1,29 @@
+"""Shared fixtures for the per-figure benchmarks.
+
+Each benchmark runs its experiment once (``benchmark.pedantic`` with a
+single round -- the experiments are deterministic simulations, so
+repeated timing adds nothing), attaches the simulated-seconds results
+as ``extra_info``, and asserts the *shape* the paper reports (who wins,
+by roughly what factor, where crossovers fall).
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under pytest-benchmark."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return runner
+
+
+def attach(benchmark, rows, key="rows"):
+    """Store experiment rows on the benchmark record (JSON output)."""
+    benchmark.extra_info[key] = [
+        {k: (round(v, 3) if isinstance(v, float) else v) for k, v in row.items()}
+        for row in rows
+    ]

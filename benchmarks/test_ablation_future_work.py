@@ -1,0 +1,44 @@
+"""Ablations for the paper's Section 6 future-work directions.
+
+- "Data Formats": how much of TensorFlow's step-time deficit is format
+  conversion?  (The paper: "Conversions between formats adds overhead";
+  making them free should recover most of the gap.)
+- "System Tuning": how much does Spark's default partitioning cost
+  versus the tuned setting?  (Section 5.3.1: the default "results in a
+  highly underutilized cluster".)
+"""
+
+from conftest import attach
+
+from repro.harness.experiments import (
+    ablation_spark_self_tuning,
+    ablation_tf_format_conversion,
+)
+from repro.harness.report import print_table
+
+
+def test_tf_conversion_share(benchmark):
+    rows = benchmark.pedantic(
+        ablation_tf_format_conversion, rounds=1, iterations=1
+    )
+    attach(benchmark, rows)
+    print_table(rows, title="Ablation: TF format conversions (Section 6)")
+    share = next(
+        r["simulated_s"] for r in rows if r["variant"] == "conversion share"
+    )
+    # Conversions dominate the TF mean step (the paper calls the step
+    # "an order of magnitude slower" due to conversion costs).
+    assert share > 0.5
+
+
+def test_spark_default_vs_tuned(benchmark):
+    rows = benchmark.pedantic(
+        ablation_spark_self_tuning, rounds=1, iterations=1
+    )
+    attach(benchmark, rows)
+    print_table(rows, title="Ablation: Spark default vs tuned partitions")
+    speedup = next(
+        r["simulated_s"] for r in rows if r["variant"] == "speedup"
+    )
+    # The default's handful of partitions under-utilizes 128 slots.
+    assert speedup > 3.0

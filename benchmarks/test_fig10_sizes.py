@@ -1,0 +1,42 @@
+"""Figures 10a/10b: the dataset size tables.
+
+These are exact-value reproductions: input sizes and largest
+intermediates in decimal GB, matching the paper's tables to rounding.
+"""
+
+import pytest
+from conftest import attach
+
+from repro.harness.experiments import fig10a_sizes, fig10b_sizes
+from repro.harness.report import print_table
+
+#: Paper Figure 10a (GB).
+PAPER_NEURO = {1: (4.1, 8.4), 2: (8.4, 16.8), 4: (16.8, 33.6),
+               8: (33.6, 67.2), 12: (50.4, 100.8), 25: (105, 210)}
+#: Paper Figure 10b (GB).
+PAPER_ASTRO = {2: (9.6, 24), 4: (19.2, 48), 8: (38.4, 96),
+               12: (57.6, 144), 24: (115.2, 288)}
+
+
+def test_fig10a_neuro_sizes(benchmark):
+    rows = benchmark.pedantic(fig10a_sizes, rounds=1, iterations=1)
+    attach(benchmark, rows)
+    print_table(rows, title="Figure 10a: neuroscience data sizes (GB)")
+    for row in rows:
+        paper_input, paper_intermediate = PAPER_NEURO[row["subjects"]]
+        assert row["input_gb"] == pytest.approx(paper_input, rel=0.05)
+        assert row["largest_intermediate_gb"] == pytest.approx(
+            paper_intermediate, rel=0.05
+        )
+
+
+def test_fig10b_astro_sizes(benchmark):
+    rows = benchmark.pedantic(fig10b_sizes, rounds=1, iterations=1)
+    attach(benchmark, rows)
+    print_table(rows, title="Figure 10b: astronomy data sizes (GB)")
+    for row in rows:
+        paper_input, paper_intermediate = PAPER_ASTRO[row["visits"]]
+        assert row["input_gb"] == pytest.approx(paper_input, rel=0.01)
+        assert row["largest_intermediate_gb"] == pytest.approx(
+            paper_intermediate, rel=0.01
+        )

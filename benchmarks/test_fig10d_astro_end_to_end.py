@@ -1,0 +1,31 @@
+"""Figure 10d: astronomy end-to-end runtime vs input size (16 nodes).
+
+Shape targets (Section 5.1): Spark and Myria are comparable at every
+size; runtime grows roughly linearly with visits.  Dask is excluded
+per the paper (its deployment froze; Section 4.4).
+"""
+
+from conftest import attach
+
+from repro.harness.experiments import fig10d_astro_end_to_end
+from repro.harness.report import print_series
+
+
+def test_fig10d(benchmark):
+    rows = benchmark.pedantic(
+        fig10d_astro_end_to_end, rounds=1, iterations=1
+    )
+    attach(benchmark, rows)
+    print_series(rows, "visits", "engine",
+                 title="Figure 10d: astro end-to-end runtime (simulated s)")
+
+    t = {(r["engine"], r["visits"]): r["simulated_s"] for r in rows}
+    engines = sorted({r["engine"] for r in rows})
+    assert "dask" not in engines  # matches the paper's reporting
+    for n in (2, 8, 24):
+        ratio = t[("spark", n)] / t[("myria", n)]
+        assert 0.5 < ratio < 2.0, f"spark/myria ratio {ratio} at {n} visits"
+    # Monotone growth with data size.
+    for engine in engines:
+        times = [t[(engine, n)] for n in (2, 4, 8, 12, 24)]
+        assert all(a < b for a, b in zip(times, times[1:]))

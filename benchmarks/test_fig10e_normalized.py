@@ -1,0 +1,39 @@
+"""Figure 10e: neuroscience normalized runtime per subject.
+
+Shape targets: per-subject ratios fall as data grows ("the systems
+become more efficient as they amortize start-up costs"); Dask's drop is
+the steepest ("Dask's efficiency increase is most pronounced,
+indicating that the tool has the largest start-up overhead").  Paper
+values at 25 subjects: Dask 0.32, Myria 0.58, Spark 0.59.
+"""
+
+from conftest import attach
+
+from repro.harness.experiments import (
+    fig10c_neuro_end_to_end,
+    fig10e_neuro_normalized,
+)
+from repro.harness.report import print_series
+
+
+def test_fig10e(benchmark):
+    base_rows = benchmark.pedantic(
+        fig10c_neuro_end_to_end, rounds=1, iterations=1
+    )
+    rows = fig10e_neuro_normalized(rows=base_rows)
+    attach(benchmark, rows)
+    print_series(rows, "subjects", "engine", value="normalized",
+                 title="Figure 10e: normalized runtime per subject")
+
+    norm = {(r["engine"], r["subjects"]): r["normalized"] for r in rows}
+    for engine in ("dask", "myria", "spark"):
+        assert norm[(engine, 1)] == 1.0
+        # Ratios fall with scale.
+        assert norm[(engine, 25)] < norm[(engine, 4)] < 1.0
+    # Dask amortizes the most.
+    assert norm[("dask", 25)] < norm[("myria", 25)]
+    assert norm[("dask", 25)] < norm[("spark", 25)]
+    # Rough paper bands (0.32 vs 0.58/0.59), with generous tolerance.
+    assert norm[("dask", 25)] < 0.55
+    assert norm[("myria", 25)] < 0.85
+    assert norm[("spark", 25)] < 0.85

@@ -1,0 +1,37 @@
+"""Figure 10g: neuroscience end-to-end runtime vs cluster size.
+
+Shape targets (Section 5.1): "All systems show near linear speedup ...
+Myria achieves almost perfect linear speedup.  Dask is better than
+Myria on smaller cluster sizes but scheduling overhead makes Dask less
+efficient as cluster sizes increase."
+"""
+
+from conftest import attach
+
+from repro.harness.experiments import fig10g_neuro_speedup
+from repro.harness.report import print_series, speedup_table
+
+
+def test_fig10g(benchmark):
+    rows = benchmark.pedantic(fig10g_neuro_speedup, rounds=1, iterations=1)
+    attach(benchmark, rows)
+    print_series(rows, "nodes", "engine",
+                 title="Figure 10g: neuro runtime vs cluster size")
+    speedups = speedup_table(rows)
+    print_series(speedups, "nodes", "engine", value="speedup",
+                 title="Figure 10g: speedup relative to 16 nodes")
+
+    s = {(r["engine"], r["nodes"]): r["speedup"] for r in speedups}
+    for engine in ("dask", "myria", "spark"):
+        # Near-linear: at 64 nodes (4x) at least 2.2x faster.
+        assert s[(engine, 64)] > 2.2
+        # Monotone improvement with nodes.
+        assert s[(engine, 32)] > 1.0
+        assert s[(engine, 64)] > s[(engine, 32)]
+    # Myria is the closest to perfect scaling at 64 nodes.
+    assert s[("myria", 64)] >= s[("dask", 64)]
+    # Dask leads at small scale but loses relative efficiency by 64
+    # nodes (aggressive work stealing / central dispatch).
+    t = {(r["engine"], r["nodes"]): r["simulated_s"] for r in rows}
+    dask_eff_loss = s[("myria", 64)] - s[("dask", 64)]
+    assert dask_eff_loss >= 0

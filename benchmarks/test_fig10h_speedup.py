@@ -1,0 +1,30 @@
+"""Figure 10h: astronomy end-to-end runtime vs cluster size.
+
+Shape targets (Section 5.1): near-linear speedup for both engines;
+Spark trails Myria when memory is plentiful ("this approach also causes
+Spark to be slower than Myria when memory is plentiful as shown earlier
+in Figure 10h").
+"""
+
+from conftest import attach
+
+from repro.harness.experiments import fig10h_astro_speedup
+from repro.harness.report import print_series, speedup_table
+
+
+def test_fig10h(benchmark):
+    rows = benchmark.pedantic(fig10h_astro_speedup, rounds=1, iterations=1)
+    attach(benchmark, rows)
+    print_series(rows, "nodes", "engine",
+                 title="Figure 10h: astro runtime vs cluster size")
+    speedups = speedup_table(rows)
+    print_series(speedups, "nodes", "engine", value="speedup",
+                 title="Figure 10h: speedup relative to 16 nodes")
+
+    s = {(r["engine"], r["nodes"]): r["speedup"] for r in speedups}
+    t = {(r["engine"], r["nodes"]): r["simulated_s"] for r in rows}
+    for engine in ("myria", "spark"):
+        assert s[(engine, 64)] > 2.0
+        assert s[(engine, 64)] > s[(engine, 32)] > 1.0
+    # Spark is not faster than Myria at the largest cluster.
+    assert t[("spark", 64)] >= 0.95 * t[("myria", 64)]

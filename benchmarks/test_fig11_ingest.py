@@ -1,0 +1,44 @@
+"""Figure 11: data ingest times for the neuroscience benchmark.
+
+Shape targets (Section 5.2.1, log-scale y):
+- Myria is faster than Spark (no master-side S3 listing) even though it
+  writes to disk.
+- SciDB-1 (``from_array``) is an order of magnitude slower than SciDB-2
+  (``aio_input``); SciDB-2's CSV conversion keeps it a bit behind
+  Spark/Myria.
+- Dask's ingest time stays flat until subjects exceed the node count.
+- TensorFlow's master-mediated ingest is slower than every parallel
+  loader.
+"""
+
+from conftest import attach
+
+from repro.harness.experiments import fig11_ingest
+from repro.harness.report import print_series
+
+
+def test_fig11(benchmark):
+    rows = benchmark.pedantic(fig11_ingest, rounds=1, iterations=1)
+    attach(benchmark, rows)
+    print_series(rows, "subjects", "system",
+                 title="Figure 11: ingest time (simulated s, plot on log y)")
+
+    t = {(r["system"], r["subjects"]): r["simulated_s"] for r in rows}
+    largest = 25
+    # SciDB-1 is an order of magnitude above SciDB-2.
+    assert t[("scidb-1", largest)] > 5 * t[("scidb-2", largest)]
+    # aio ingest is on par with Spark/Myria but the CSV conversion
+    # keeps it behind both.
+    assert t[("scidb-2", largest)] > t[("myria", largest)]
+    assert t[("scidb-2", largest)] > t[("spark", largest)]
+    assert t[("scidb-2", largest)] < 4 * t[("spark", largest)]
+    # Myria beats Spark (file-list input vs master enumeration).
+    assert t[("myria", largest)] < t[("spark", largest)]
+    # TensorFlow's master bottleneck loses to all parallel ingests.
+    assert t[("tensorflow", largest)] > t[("spark", largest)]
+    assert t[("tensorflow", largest)] > t[("myria", largest)]
+    assert t[("tensorflow", largest)] > t[("dask", largest)]
+    # Dask stays flat while subjects <= 16 nodes...
+    assert t[("dask", 12)] < 1.35 * t[("dask", 1)]
+    # ...then roughly doubles when some node takes two subjects.
+    assert t[("dask", 25)] > 1.5 * t[("dask", 12)]

@@ -1,0 +1,30 @@
+"""Figure 12a: the filter step (select b0 volumes), 16 nodes, 25 subjects.
+
+Shape targets (Section 5.2.2, log-scale y):
+- Myria and Dask are fastest (pushdown / already-in-memory).
+- Spark is about an order of magnitude slower than Dask (Python
+  serialization of data crossing the JVM boundary).
+- SciDB is slower still (chunks misaligned with the selection).
+- TensorFlow is orders of magnitude slower (flatten + gather + reshape).
+"""
+
+from conftest import attach
+
+from repro.harness.experiments import fig12a_filter
+from repro.harness.report import print_table
+
+
+def test_fig12a(benchmark):
+    rows = benchmark.pedantic(fig12a_filter, rounds=1, iterations=1)
+    attach(benchmark, rows)
+    print_table(rows, title="Figure 12a: filter step (simulated s, log y)")
+
+    t = {r["system"]: r["simulated_s"] for r in rows}
+    fastest = min(t["myria"], t["dask"])
+    # Spark pays the Python-boundary tax: ~an order of magnitude.
+    assert t["spark"] > 4 * t["dask"]
+    # SciDB does extra chunk extraction/reconstruction work.
+    assert t["scidb"] > fastest
+    # TensorFlow's reshape gymnastics dominate everything.
+    assert t["tensorflow"] > 5 * t["spark"]
+    assert t["tensorflow"] > 20 * fastest

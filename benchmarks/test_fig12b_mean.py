@@ -1,0 +1,28 @@
+"""Figure 12b: the mean step (per-subject mean of b0 volumes).
+
+Shape targets (Section 5.2.2): SciDB is competitive (native array
+math); Spark/Myria are comparable to SciDB at the largest scale; Dask
+trails a bit at this step (startup/stealing overheads relative to a
+cheap operation); TensorFlow is ~an order of magnitude slower
+(tensor conversions).
+"""
+
+from conftest import attach
+
+from repro.harness.experiments import fig12b_mean
+from repro.harness.report import print_table
+
+
+def test_fig12b(benchmark):
+    rows = benchmark.pedantic(fig12b_mean, rounds=1, iterations=1)
+    attach(benchmark, rows)
+    print_table(rows, title="Figure 12b: mean step (simulated s, log y)")
+
+    t = {r["system"]: r["simulated_s"] for r in rows}
+    # SciDB's native aggregate is at least competitive with all the
+    # UDF-based engines at this step.
+    assert t["scidb"] < 3 * min(t["spark"], t["myria"])
+    # Spark and Myria land in the same band.
+    assert 0.3 < t["spark"] / t["myria"] < 3.0
+    # TensorFlow pays conversion costs: clearly the slowest.
+    assert t["tensorflow"] > 3 * max(t["spark"], t["myria"], t["scidb"])

@@ -1,0 +1,23 @@
+"""Figure 12d: the co-addition step (Step 3-A).
+
+Shape targets (Section 5.2.4): Spark and Myria run the reference
+iterative code as UDFs and are comparable; SciDB's stock AQL
+implementation, lacking iterative-processing optimizations, is more
+than an order of magnitude slower.
+"""
+
+from conftest import attach
+
+from repro.harness.experiments import fig12d_coadd
+from repro.harness.report import print_table
+
+
+def test_fig12d(benchmark):
+    rows = benchmark.pedantic(fig12d_coadd, rounds=1, iterations=1)
+    attach(benchmark, rows)
+    print_table(rows, title="Figure 12d: co-addition (simulated s, log y)")
+
+    t = {r["system"]: r["simulated_s"] for r in rows}
+    assert 0.3 < t["spark"] / t["myria"] < 3.0
+    # SciDB: "more than one order of magnitude slower".
+    assert t["scidb"] > 8 * max(t["spark"], t["myria"])

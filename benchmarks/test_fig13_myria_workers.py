@@ -1,0 +1,24 @@
+"""Figure 13: Myria runtime vs workers per node (25 subjects, 16 nodes).
+
+Shape target (Section 5.3.1): "Our manual tuning found that four
+workers per node yields the best results" -- runtime falls from 1 to 4
+workers, then rises at 8 as workers compete for physical resources.
+"""
+
+from conftest import attach
+
+from repro.harness.experiments import fig13_myria_workers
+from repro.harness.report import print_table
+
+
+def test_fig13(benchmark):
+    rows = benchmark.pedantic(fig13_myria_workers, rounds=1, iterations=1)
+    attach(benchmark, rows)
+    print_table(rows, title="Figure 13: Myria workers per node")
+
+    t = {r["workers_per_node"]: r["simulated_s"] for r in rows}
+    assert t[4] < t[1]
+    assert t[4] < t[2]
+    assert t[4] < t[8]
+    # The 1-worker configuration wastes most of each node.
+    assert t[1] > 1.5 * t[4]

@@ -1,0 +1,28 @@
+"""Figure 14: Spark runtime vs number of input partitions (1 subject).
+
+Shape targets (Section 5.3.1): "the decrease in runtime is dramatic
+between 1 and 16 partitions ... continues to improve until 128 data
+partitions which is the total number of slots ... Increasing the number
+of partitions from 16 to 97 results in 50% improvement.  Further
+increases do not improve performance."
+"""
+
+from conftest import attach
+
+from repro.harness.experiments import fig14_spark_partitions
+from repro.harness.report import print_table
+
+
+def test_fig14(benchmark):
+    rows = benchmark.pedantic(fig14_spark_partitions, rounds=1, iterations=1)
+    attach(benchmark, rows)
+    print_table(rows, title="Figure 14: Spark input partitions (1 subject)")
+
+    t = {r["partitions"]: r["simulated_s"] for r in rows}
+    # Dramatic initial drop: 1 -> 16 partitions.
+    assert t[16] < 0.25 * t[1]
+    # Meaningful further gain from 16 to 97 (paper: ~50%).
+    assert t[97] < 0.75 * t[16]
+    # Beyond the slot count, no further improvement.
+    assert t[192] > 0.9 * t[128]
+    assert t[256] > 0.9 * t[128]

@@ -1,0 +1,36 @@
+"""Figure 15: Myria memory-management strategies (astronomy use case).
+
+Shape targets (Section 5.3.2): while data fits in memory, pipelined
+execution is fastest (paper: 8-11% over materialized, 15-23% over
+multi-query); as data grows, pipelined execution fails with
+out-of-memory errors and materialization (then multi-query) becomes the
+only way to complete.
+"""
+
+from conftest import attach
+
+from repro.harness.experiments import fig15_myria_memory
+from repro.harness.report import print_series
+
+
+def test_fig15(benchmark):
+    rows = benchmark.pedantic(
+        fig15_myria_memory,
+        kwargs={"visit_counts": (2, 8, 24, 96)},
+        rounds=1, iterations=1,
+    )
+    attach(benchmark, rows)
+    print_series(rows, "visits", "mode",
+                 title="Figure 15: Myria memory management (simulated s)")
+
+    t = {(r["visits"], r["mode"]): r["simulated_s"] for r in rows}
+    # When memory is plentiful: pipelined < materialized < multiquery.
+    for visits in (2, 8):
+        assert t[(visits, "pipelined")] != "OOM"
+        assert t[(visits, "pipelined")] < t[(visits, "materialized")]
+        assert t[(visits, "materialized")] < t[(visits, "multiquery")]
+    # At the largest size, pipelined execution runs out of memory while
+    # the disk-backed strategies complete.
+    assert t[(96, "pipelined")] == "OOM"
+    assert t[(96, "materialized")] != "OOM"
+    assert t[(96, "multiquery")] != "OOM"

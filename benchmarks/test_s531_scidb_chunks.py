@@ -1,0 +1,25 @@
+"""Section 5.3.1: SciDB chunk-size tuning for co-addition.
+
+Shape targets: "a chunk size of [1000x1000] of the LSST images leads to
+the best performance.  Chunk size [500x500] ... is 3x slower; Chunk
+sizes [1500x1500] and [2000x2000] are slower by 22% and 55%".
+"""
+
+from conftest import attach
+
+from repro.harness.experiments import s531_scidb_chunks
+from repro.harness.report import print_table
+
+
+def test_s531(benchmark):
+    rows = benchmark.pedantic(s531_scidb_chunks, rounds=1, iterations=1)
+    attach(benchmark, rows)
+    print_table(rows, title="Section 5.3.1: SciDB chunk size (co-addition)")
+
+    t = {r["chunk"]: r["simulated_s"] for r in rows}
+    assert t[1000] == min(t.values())
+    # 500^2 is much slower (paper: 3x).
+    assert t[500] > 1.8 * t[1000]
+    # Larger chunks degrade progressively (paper: +22%, +55%).
+    assert t[1500] > 1.05 * t[1000]
+    assert t[2000] > t[1500]

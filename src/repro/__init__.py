@@ -1,0 +1,35 @@
+"""Reproduction of Mehta et al., "Comparative Evaluation of Big-Data
+Systems on Scientific Image Analytics Workloads" (VLDB 2017).
+
+The package provides:
+
+- :mod:`repro.cluster` -- a discrete-event simulated cluster substrate
+  standing in for the paper's AWS testbed (r3.2xlarge nodes).
+- :mod:`repro.formats` -- from-scratch NIfTI-1 and FITS codecs plus the
+  auxiliary staging formats (pickled NumPy, CSV/TSV) used by ingest.
+- :mod:`repro.data` -- synthetic dataset generators for the neuroscience
+  (Human Connectome Project stand-in) and astronomy (HiTS stand-in)
+  workloads.
+- :mod:`repro.algorithms` -- the scientific reference algorithms (Otsu
+  segmentation, non-local means, diffusion tensor fitting, background
+  estimation, cosmic-ray repair, patch geometry, sigma-clipped
+  co-addition, source detection).
+- :mod:`repro.engines` -- five from-scratch mini big-data systems:
+  miniSpark, miniMyria, miniSciDB, miniDask, and miniTensorFlow.
+- :mod:`repro.pipelines` -- the two end-to-end use cases implemented on
+  each engine, mirroring Sections 3 and 4 of the paper.
+- :mod:`repro.harness` -- experiment definitions and report printers for
+  every table and figure in the paper's evaluation (Section 5).
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "algorithms",
+    "cluster",
+    "data",
+    "engines",
+    "formats",
+    "harness",
+    "pipelines",
+]

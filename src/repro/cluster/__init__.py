@@ -1,0 +1,50 @@
+"""Discrete-event simulated cluster substrate.
+
+The paper evaluated the five systems on Amazon EC2 ``r3.2xlarge``
+instances (8 vCPU, 61 GB memory, 160 GB SSD) in clusters of 16 to 64
+nodes.  This package substitutes a deterministic discrete-event
+simulation for that testbed: nodes offer execution *slots*, tasks occupy
+slots for modeled durations derived from a calibrated
+:class:`~repro.cluster.costs.CostModel`, and a virtual clock records the
+makespan.  Real (scaled-down) NumPy computation still runs inside each
+task, so outputs remain checkable against the single-node reference
+pipelines while timings reflect paper-scale data.
+"""
+
+from repro.cluster.clock import VirtualClock
+from repro.cluster.cluster import Node, SimulatedCluster
+from repro.cluster.costs import CostModel
+from repro.cluster.disk import LocalDisk
+from repro.cluster.errors import (
+    ClusterError,
+    DiskFullError,
+    OutOfMemoryError,
+    PlacementError,
+    TaskFailedError,
+)
+from repro.cluster.memory import MemoryTracker
+from repro.cluster.network import NetworkModel
+from repro.cluster.objectstore import ObjectStore
+from repro.cluster.spec import ClusterSpec, NodeSpec, R3_2XLARGE
+from repro.cluster.task import Task, TaskResult
+
+__all__ = [
+    "ClusterError",
+    "ClusterSpec",
+    "CostModel",
+    "DiskFullError",
+    "LocalDisk",
+    "MemoryTracker",
+    "NetworkModel",
+    "Node",
+    "NodeSpec",
+    "ObjectStore",
+    "OutOfMemoryError",
+    "PlacementError",
+    "R3_2XLARGE",
+    "SimulatedCluster",
+    "Task",
+    "TaskFailedError",
+    "TaskResult",
+    "VirtualClock",
+]

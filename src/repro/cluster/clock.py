@@ -1,0 +1,46 @@
+"""Virtual clock for the discrete-event simulation."""
+
+
+class VirtualClock:
+    """Monotonic simulated clock measured in seconds.
+
+    The clock only moves forward.  All engine-visible timings in the
+    reproduction are simulated seconds on this clock, never wall-clock
+    time, which makes every benchmark deterministic and independent of
+    the host machine.
+    """
+
+    def __init__(self, start=0.0):
+        if start < 0:
+            raise ValueError(f"clock cannot start at negative time {start}")
+        self._now = float(start)
+
+    @property
+    def now(self):
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance_to(self, timestamp):
+        """Move the clock forward to ``timestamp``.
+
+        Raises :class:`ValueError` on attempts to move backwards, which
+        would indicate a scheduling bug in an engine.
+        """
+        if timestamp < self._now:
+            raise ValueError(
+                f"cannot move clock backwards from {self._now} to {timestamp}"
+            )
+        self._now = float(timestamp)
+
+    def advance_by(self, delta):
+        """Move the clock forward by ``delta`` seconds (must be >= 0)."""
+        if delta < 0:
+            raise ValueError(f"cannot advance clock by negative delta {delta}")
+        self._now += float(delta)
+
+    def reset(self):
+        """Rewind to time zero (used between benchmark trials)."""
+        self._now = 0.0
+
+    def __repr__(self):
+        return f"VirtualClock(now={self._now:.6f})"

@@ -1,0 +1,338 @@
+"""The simulated cluster: nodes, slots, and the event-driven executor.
+
+``SimulatedCluster.run()`` executes a DAG of :class:`~repro.cluster.task.Task`
+objects.  Each node offers ``spec.slots_per_node`` parallel slots; tasks
+occupy one slot for their modeled duration.  Input transfers between
+nodes, memory admission (with fail/wait/spill policies) and the virtual
+clock are all handled here, so that engines only need to express the
+*structure* of their execution.
+"""
+
+import heapq
+
+from repro.cluster.clock import VirtualClock
+from repro.cluster.costs import DEFAULT_COST_MODEL
+from repro.cluster.disk import LocalDisk
+from repro.cluster.errors import (
+    OutOfMemoryError,
+    PlacementError,
+    TaskFailedError,
+)
+from repro.cluster.memory import MemoryTracker
+from repro.cluster.network import NetworkModel
+from repro.cluster.objectstore import ObjectStore
+from repro.cluster.spec import ClusterSpec
+from repro.cluster.task import Task, TaskResult
+
+
+class Node:
+    """Runtime state of one simulated machine."""
+
+    def __init__(self, name, spec, slots, cost_model):
+        self.name = name
+        self.spec = spec
+        self.slots = slots
+        self.busy_slots = 0
+        self.memory = MemoryTracker(name, spec.memory_bytes)
+        self.disk = LocalDisk(name, spec.disk_bytes)
+        self.cost_model = cost_model
+        self.busy_seconds = 0.0
+
+    @property
+    def free_slots(self):
+        """Execution slots currently idle on this node."""
+        return self.slots - self.busy_slots
+
+    def __repr__(self):
+        return f"Node({self.name!r}, slots={self.slots}, busy={self.busy_slots})"
+
+
+class SimulatedCluster:
+    """A deterministic, discrete-event cluster of identical nodes."""
+
+    def __init__(self, spec, cost_model=DEFAULT_COST_MODEL, object_store=None):
+        if not isinstance(spec, ClusterSpec):
+            raise TypeError(f"spec must be a ClusterSpec, got {type(spec)!r}")
+        self.spec = spec
+        self.cost_model = cost_model
+        self.clock = VirtualClock()
+        self.network = NetworkModel(cost_model)
+        self.object_store = object_store if object_store is not None else ObjectStore()
+        self.nodes = {
+            name: Node(name, spec.node, spec.slots_per_node, cost_model)
+            for name in spec.node_names()
+        }
+        self.node_order = spec.node_names()
+        self.completed = {}
+        self.task_trace = []
+        self._start_times = {}
+
+    # ------------------------------------------------------------------
+    # Convenience accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self):
+        """Current simulated time in seconds."""
+        return self.clock.now
+
+    @property
+    def master(self):
+        """The coordinator node (drivers, masters, query coordinators)."""
+        return self.node_order[0]
+
+    def node(self, name):
+        """Look up a node by name; raises on unknown names."""
+        try:
+            return self.nodes[name]
+        except KeyError:
+            raise PlacementError(f"unknown node {name!r}") from None
+
+    def result_of(self, task):
+        """Value produced by ``task`` in a previous :meth:`run` call."""
+        return self.completed[task.task_id].value
+
+    def charge_master(self, seconds, label="coordinator work"):
+        """Advance the clock for serial coordinator-side work."""
+        if seconds < 0:
+            raise ValueError(f"cannot charge negative time: {seconds}")
+        self.clock.advance_by(seconds)
+        self.task_trace.append((label, self.master, self.now - seconds, self.now))
+
+    # ------------------------------------------------------------------
+    # The executor
+    # ------------------------------------------------------------------
+
+    def run(self, tasks):
+        """Execute a DAG of tasks; returns ``{task_id: TaskResult}``.
+
+        The clock starts at its current value (runs are cumulative,
+        modeling consecutive pipeline stages) and finishes at the
+        makespan of the DAG.  Tasks that were already completed in a
+        previous run are treated as satisfied dependencies.
+        """
+        pending = self._collect(tasks)
+        if not pending:
+            return {}
+
+        waiting_deps = {}
+        dependents = {}
+        ready = []
+        for task in pending.values():
+            open_deps = [
+                d for d in task.dependencies() if d.task_id not in self.completed
+            ]
+            for dep in open_deps:
+                if dep.task_id not in pending:
+                    raise TaskFailedError(
+                        task.name,
+                        RuntimeError(
+                            f"dependency {dep.name!r} neither scheduled nor completed"
+                        ),
+                    )
+                dependents.setdefault(dep.task_id, []).append(task)
+            waiting_deps[task.task_id] = len(open_deps)
+            if not open_deps:
+                ready.append(task)
+        # FIFO by task id keeps scheduling deterministic.
+        ready.sort(key=lambda t: t.task_id)
+
+        events = []  # heap of (time, tiebreak, kind, payload)
+        run_results = {}
+        oom_waiting = []
+        timers_set = set()
+
+        def start_candidates():
+            still_ready = []
+            for task in ready:
+                if task.not_before > self.now:
+                    if task.task_id not in timers_set:
+                        timers_set.add(task.task_id)
+                        heapq.heappush(
+                            events, (task.not_before, task.task_id, "timer", None)
+                        )
+                    still_ready.append(task)
+                    continue
+                node = self._place(task)
+                if node is None:
+                    still_ready.append(task)
+                    continue
+                started = self._try_start(task, node, events)
+                if started is None:
+                    # Memory admission deferred the task.
+                    oom_waiting.append(task)
+            ready[:] = still_ready
+
+        start_candidates()
+        if not events and (ready or oom_waiting):
+            raise TaskFailedError(
+                (ready + oom_waiting)[0].name,
+                RuntimeError("no task could start: cluster has no usable slot"),
+            )
+
+        while events:
+            time, _tiebreak, kind, payload = heapq.heappop(events)
+            self.clock.advance_to(time)
+            if kind == "complete":
+                task, node, alloc_id, value = payload
+                node.busy_slots -= 1
+                if alloc_id is not None:
+                    node.memory.free(alloc_id)
+                result = TaskResult(
+                    task, value, self._start_times[task.task_id], time, node.name
+                )
+                self.completed[task.task_id] = result
+                run_results[task.task_id] = result
+                self.task_trace.append((task.name, node.name, result.start_time, time))
+                for child in dependents.get(task.task_id, ()):
+                    waiting_deps[child.task_id] -= 1
+                    if waiting_deps[child.task_id] == 0:
+                        ready.append(child)
+                ready.sort(key=lambda t: t.task_id)
+                # Retry memory-deferred tasks now that memory may have freed.
+                if oom_waiting:
+                    ready[:0] = sorted(oom_waiting, key=lambda t: t.task_id)
+                    oom_waiting.clear()
+            start_candidates()
+            if not events and (ready or oom_waiting):
+                blocked = (ready + oom_waiting)[0]
+                raise TaskFailedError(
+                    blocked.name,
+                    RuntimeError(
+                        "deadlock: task cannot start (insufficient memory or slots)"
+                    ),
+                )
+
+        return run_results
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _collect(self, tasks):
+        """Transitively gather the task set, keyed by id."""
+        pending = {}
+        stack = list(tasks)
+        while stack:
+            task = stack.pop()
+            if not isinstance(task, Task):
+                raise TypeError(f"expected Task, got {type(task)!r}")
+            if task.task_id in pending or task.task_id in self.completed:
+                continue
+            pending[task.task_id] = task
+            stack.extend(task.dependencies())
+        return pending
+
+    def _place(self, task):
+        """Pick a node for ``task``; ``None`` when no slot is free."""
+        if task.node is not None:
+            node = self.node(task.node)
+            return node if node.free_slots > 0 else None
+        best = None
+        for name in self.node_order:
+            node = self.nodes[name]
+            if node.free_slots <= 0:
+                continue
+            if best is None or node.free_slots > best.free_slots:
+                best = node
+        return best
+
+    def _try_start(self, task, node, events):
+        """Begin executing ``task`` on ``node``.
+
+        Returns True on success, None when deferred by the "wait" OOM
+        policy, and raises for the "fail" policy.  (False is reserved
+        for future admission rules.)
+        """
+        spill_bytes = 0
+        alloc_id = None
+        if task.memory_bytes > 0:
+            if node.memory.would_fit(task.memory_bytes):
+                alloc_id = node.memory.allocate(task.memory_bytes, task.name)
+            elif task.on_oom == "wait":
+                if task.memory_bytes > node.memory.capacity_bytes:
+                    raise OutOfMemoryError(
+                        node.name,
+                        task.memory_bytes,
+                        node.memory.capacity_bytes,
+                        task.name,
+                    )
+                return None
+            elif task.on_oom == "spill":
+                spill_bytes = task.memory_bytes - node.memory.available_bytes
+                fit_bytes = task.memory_bytes - spill_bytes
+                if fit_bytes > 0:
+                    alloc_id = node.memory.allocate(fit_bytes, task.name)
+            else:  # "fail"
+                node.memory.oom_count += 1
+                raise OutOfMemoryError(
+                    node.name,
+                    task.memory_bytes,
+                    node.memory.available_bytes,
+                    task.name,
+                )
+
+        resolved_args = [self._resolve(a) for a in task.args]
+        resolved_kwargs = {k: self._resolve(v) for k, v in task.kwargs.items()}
+
+        transfer = 0.0
+        for dep in task.dependencies():
+            dep_result = self.completed[dep.task_id]
+            if dep.output_bytes > 0 and dep_result.node != node.name:
+                transfer += self.network.transfer_time(
+                    dep.output_bytes, dep_result.node, node.name
+                )
+
+        # Real computation runs first so that cost callables may price
+        # the work from its actual outputs.
+        if task.fn is not None:
+            try:
+                value = task.fn(*resolved_args, **resolved_kwargs)
+            except Exception as exc:  # noqa: BLE001 - rewrapped with context
+                if alloc_id is not None:
+                    node.memory.free(alloc_id)
+                raise TaskFailedError(task.name, exc) from exc
+        else:
+            value = None
+
+        if callable(task.duration):
+            duration = float(task.duration(*resolved_args, **resolved_kwargs))
+        else:
+            duration = float(task.duration)
+        if spill_bytes > 0:
+            duration += self.cost_model.disk_write_time(spill_bytes)
+            duration += self.cost_model.disk_read_time(spill_bytes)
+
+        start = self.now
+        end = start + transfer + duration
+        node.busy_slots += 1
+        node.busy_seconds += transfer + duration
+        self._start_times[task.task_id] = start
+        heapq.heappush(
+            events, (end, task.task_id, "complete", (task, node, alloc_id, value))
+        )
+        return True
+
+    def _resolve(self, arg):
+        if isinstance(arg, Task):
+            return self.completed[arg.task_id].value
+        return arg
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+
+    def utilization(self):
+        """Fraction of slot-seconds spent busy since time zero."""
+        if self.now == 0:
+            return 0.0
+        total_capacity = self.spec.total_slots * self.now
+        busy = sum(n.busy_seconds for n in self.nodes.values())
+        return busy / total_capacity
+
+    def reset_clock(self):
+        """Rewind the clock (between benchmark trials on one cluster)."""
+        self.clock.reset()
+        self.task_trace.clear()
+        for node in self.nodes.values():
+            node.busy_seconds = 0.0

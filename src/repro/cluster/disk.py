@@ -1,0 +1,74 @@
+"""Per-node local disk model (the 160 GB SSD of an r3.2xlarge).
+
+Used for Myria's PostgreSQL-backed storage, Spark's shuffle files and
+spill, and SciDB's chunk store.  Contents are kept as real Python
+objects keyed by path so engines can actually read back what they wrote;
+sizes are nominal bytes for capacity accounting and timing.
+"""
+
+from repro.cluster.errors import DiskFullError
+
+
+class LocalDisk:
+    """A node's local SSD: a byte-budgeted key-value store."""
+
+    def __init__(self, node, capacity_bytes):
+        if capacity_bytes <= 0:
+            raise ValueError("disk capacity must be positive")
+        self.node = node
+        self.capacity_bytes = int(capacity_bytes)
+        self._files = {}
+        self.bytes_written = 0
+        self.bytes_read = 0
+
+    @property
+    def used_bytes(self):
+        """Bytes currently accounted as in use."""
+        return sum(size for _value, size in self._files.values())
+
+    @property
+    def available_bytes(self):
+        """Bytes still free under the capacity."""
+        return self.capacity_bytes - self.used_bytes
+
+    def write(self, path, value, nbytes):
+        """Store ``value`` under ``path`` occupying ``nbytes``.
+
+        Overwriting an existing path first releases its old space.
+        """
+        nbytes = int(nbytes)
+        if nbytes < 0:
+            raise ValueError(f"cannot write negative bytes: {nbytes}")
+        released = self._files[path][1] if path in self._files else 0
+        if nbytes - released > self.available_bytes:
+            raise DiskFullError(self.node, nbytes, self.available_bytes + released)
+        self._files[path] = (value, nbytes)
+        self.bytes_written += nbytes
+
+    def read(self, path):
+        """Return the stored value; raises ``KeyError`` if absent."""
+        value, nbytes = self._files[path]
+        self.bytes_read += nbytes
+        return value
+
+    def size_of(self, path):
+        """Stored size in bytes of one entry."""
+        return self._files[path][1]
+
+    def exists(self, path):
+        """Whether the entry is present."""
+        return path in self._files
+
+    def delete(self, path):
+        """Remove one entry; raises ``KeyError`` when absent."""
+        if path not in self._files:
+            raise KeyError(f"no such file on {self.node!r}: {path}")
+        del self._files[path]
+
+    def list(self, prefix=""):
+        """Paths stored on this disk, optionally filtered by prefix."""
+        return sorted(p for p in self._files if p.startswith(prefix))
+
+    def clear(self):
+        """Remove all entries."""
+        self._files.clear()

@@ -1,0 +1,59 @@
+"""Exception hierarchy for the simulated cluster."""
+
+
+class ClusterError(Exception):
+    """Base class for all simulated-cluster failures."""
+
+
+class OutOfMemoryError(ClusterError):
+    """A node's resident set exceeded its memory capacity.
+
+    The paper's Section 5.3.2 discusses how image analytics pipelines
+    "can easily experience out-of-memory failures"; Myria's pipelined
+    execution surfaces this error while Spark spills to disk instead.
+    """
+
+    def __init__(self, node, requested_bytes, available_bytes, label=""):
+        self.node = node
+        self.requested_bytes = requested_bytes
+        self.available_bytes = available_bytes
+        self.label = label
+        super().__init__(
+            f"node {node!r}: allocation of {requested_bytes} bytes"
+            f"{f' for {label}' if label else ''} exceeds available"
+            f" {available_bytes} bytes"
+        )
+
+
+class DiskFullError(ClusterError):
+    """A node's local disk filled up (160 GB on r3.2xlarge)."""
+
+    def __init__(self, node, requested_bytes, available_bytes):
+        self.node = node
+        self.requested_bytes = requested_bytes
+        self.available_bytes = available_bytes
+        super().__init__(
+            f"node {node!r}: write of {requested_bytes} bytes exceeds"
+            f" available disk space {available_bytes} bytes"
+        )
+
+
+class PlacementError(ClusterError):
+    """A task was pinned to a node that does not exist."""
+
+
+class TaskFailedError(ClusterError):
+    """A task body raised; wraps the original exception."""
+
+    def __init__(self, task_name, cause):
+        self.task_name = task_name
+        self.cause = cause
+        super().__init__(f"task {task_name!r} failed: {cause!r}")
+
+
+class GraphTooLargeError(ClusterError):
+    """A miniTensorFlow graph exceeded the 2 GB serialized-size limit.
+
+    Section 4.5: "each compute graph must be smaller than 2GB when
+    serialized".
+    """

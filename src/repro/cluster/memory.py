@@ -1,0 +1,72 @@
+"""Per-node memory accounting.
+
+Section 5.3.2 of the paper: "Image analytics workloads are memory
+intensive. ... image analytics pipelines can easily experience
+out-of-memory failures."  The tracker lets engines model their distinct
+responses: Myria's pipelined execution fails the query, Spark spills to
+disk, Dask keeps results on the producing worker.
+"""
+
+from repro.cluster.errors import OutOfMemoryError
+
+
+class MemoryTracker:
+    """Tracks resident bytes on one node and enforces its capacity."""
+
+    def __init__(self, node, capacity_bytes):
+        if capacity_bytes <= 0:
+            raise ValueError("memory capacity must be positive")
+        self.node = node
+        self.capacity_bytes = int(capacity_bytes)
+        self._allocations = {}
+        self._next_id = 0
+        self.peak_bytes = 0
+        self.oom_count = 0
+
+    @property
+    def used_bytes(self):
+        """Bytes currently accounted as in use."""
+        return sum(self._allocations.values())
+
+    @property
+    def available_bytes(self):
+        """Bytes still free under the capacity."""
+        return self.capacity_bytes - self.used_bytes
+
+    def allocate(self, nbytes, label=""):
+        """Reserve ``nbytes``; returns an allocation id for :meth:`free`.
+
+        Raises :class:`OutOfMemoryError` when the node cannot hold the
+        allocation.
+        """
+        nbytes = int(nbytes)
+        if nbytes < 0:
+            raise ValueError(f"cannot allocate negative bytes: {nbytes}")
+        if nbytes > self.available_bytes:
+            self.oom_count += 1
+            raise OutOfMemoryError(self.node, nbytes, self.available_bytes, label)
+        alloc_id = self._next_id
+        self._next_id += 1
+        self._allocations[alloc_id] = nbytes
+        self.peak_bytes = max(self.peak_bytes, self.used_bytes)
+        return alloc_id
+
+    def would_fit(self, nbytes):
+        """Whether an allocation of ``nbytes`` would succeed."""
+        return int(nbytes) <= self.available_bytes
+
+    def free(self, alloc_id):
+        """Release a previous allocation; idempotent frees are bugs."""
+        if alloc_id not in self._allocations:
+            raise KeyError(f"unknown or already-freed allocation {alloc_id}")
+        del self._allocations[alloc_id]
+
+    def free_all(self):
+        """Release every outstanding allocation."""
+        self._allocations.clear()
+
+    def __repr__(self):
+        return (
+            f"MemoryTracker(node={self.node!r}, used={self.used_bytes},"
+            f" capacity={self.capacity_bytes})"
+        )

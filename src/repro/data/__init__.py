@@ -1,0 +1,33 @@
+"""Synthetic dataset generators and the paper's data-size catalog.
+
+The paper's inputs -- Human Connectome Project S900 diffusion MRI and
+High-cadence Transient Survey telescope exposures -- are not
+redistributable, so :mod:`repro.data.neuro` and :mod:`repro.data.astro`
+generate structurally faithful synthetic stand-ins: real NIfTI/FITS
+payloads at a configurable down-scale, with *nominal* sizes pinned at
+paper scale for the simulator's cost accounting.
+:mod:`repro.data.catalog` reproduces the size tables of Figures 10a/10b.
+"""
+
+from repro.data.astro import SensorExposure, Visit, generate_visit, make_star_catalog
+from repro.data.catalog import (
+    ASTRO_VISIT_COUNTS,
+    NEURO_SUBJECT_COUNTS,
+    astro_size_table,
+    neuro_size_table,
+)
+from repro.data.neuro import Subject, generate_subject, make_gradient_table
+
+__all__ = [
+    "ASTRO_VISIT_COUNTS",
+    "NEURO_SUBJECT_COUNTS",
+    "SensorExposure",
+    "Subject",
+    "Visit",
+    "astro_size_table",
+    "generate_subject",
+    "generate_visit",
+    "make_gradient_table",
+    "make_star_catalog",
+    "neuro_size_table",
+]

@@ -1,0 +1,25 @@
+"""Five from-scratch mini big-data systems.
+
+Each subpackage reimplements the execution model of one of the paper's
+evaluated systems over the simulated cluster substrate:
+
+- :mod:`repro.engines.spark` -- miniSpark: lazy RDD lineage, stages
+  split at shuffles, broadcast variables, caching, spill-to-disk.
+- :mod:`repro.engines.myria` -- miniMyria: shared-nothing relational
+  engine with a MyriaL-subset parser, Python UDF/UDAs over a blob type,
+  per-worker PostgreSQL-like storage with selection pushdown, and
+  pipelined/materialized execution modes.
+- :mod:`repro.engines.scidb` -- miniSciDB: chunked multidimensional
+  arrays, an AFL-subset evaluator, ``from_array``/``aio_input`` ingest,
+  and the ``stream()`` interface.
+- :mod:`repro.engines.dask` -- miniDask: delayed compute graphs,
+  dynamic locality-aware scheduling with work stealing, explicit
+  barriers, no persistence layer.
+- :mod:`repro.engines.tensorflow` -- miniTensorFlow: static tensor
+  dataflow graphs, manual device placement, master-mediated data
+  movement, and the 2 GB serialized-graph limit.
+"""
+
+from repro.engines.base import CostedFunction, Engine, nominal_bytes_of, udf
+
+__all__ = ["CostedFunction", "Engine", "nominal_bytes_of", "udf"]

@@ -1,0 +1,17 @@
+"""miniDask: delayed compute graphs with dynamic scheduling.
+
+Reimplements the Dask model of Section 2: computation is marked
+``delayed`` to build a task graph over plain Python objects; calling
+``result()``/``compute()`` is an explicit barrier where the scheduler
+distributes tasks to workers.  Captured behaviors: the largest job
+startup overhead of the five systems (Figure 10e), locality-aware
+placement with aggressive work stealing whose overhead grows with
+cluster size (Figure 10g), centralized dispatch, no data persistence
+("computed results remain on the machine where the computation took
+place"), and manual data-partitioning control (Sections 4.4, 5.2.1).
+"""
+
+from repro.engines.dask.client import DaskClient
+from repro.engines.dask.delayed import Delayed
+
+__all__ = ["DaskClient", "Delayed"]

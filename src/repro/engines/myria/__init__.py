@@ -1,0 +1,14 @@
+"""miniMyria: a shared-nothing parallel relational DBMS.
+
+Reimplements the Myria model of Section 2: relations hash-partitioned
+across per-node workers backed by PostgreSQL-like local storage, queries
+written in a MyriaL subset (imperative-declarative hybrid), Python
+UDF/UDA support over a blob column type holding NumPy arrays, and
+operator pipelining with optional intermediate materialization -- the
+memory-management trade-off of Figure 15.
+"""
+
+from repro.engines.myria.connection import MyriaConnection, MyriaQuery
+from repro.engines.myria.relation import Relation, Schema
+
+__all__ = ["MyriaConnection", "MyriaQuery", "Relation", "Schema"]

@@ -1,0 +1,378 @@
+"""Parser for the MyriaL subset used by the paper's pipelines.
+
+MyriaL is Myria's "imperative-declarative hybrid language, with SQL-like
+declarative query constructs and imperative statements" (Section 2).
+The subset covers everything Figure 7 and the two use cases need:
+
+.. code-block:: text
+
+    T1 = SCAN(Images);
+    T2 = SCAN(Mask);
+    Joined = [SELECT T1.subjId, T1.imgId, T1.img, T2.mask
+              FROM T1, BROADCAST(T2)
+              WHERE T1.subjId = T2.subjId];
+    Denoised = [FROM Joined EMIT
+                PYUDF(Denoise, Joined.img, Joined.mask) AS img,
+                Joined.subjId, Joined.imgId];
+    Blocks = [FROM Denoised EMIT
+              UNNEST(PYUDF(Repart, Denoised.img)) AS (subjId, blockId, block)];
+    Fitted = [FROM Blocks EMIT Blocks.subjId, Blocks.blockId,
+              UDA(FitModel, Blocks.block) AS fa];
+    STORE(Fitted, Results);
+
+Aggregation is implicit: when an emit list contains a ``UDA`` call, the
+remaining emitted columns form the grouping key (Myria's Python UDAs,
+Section 4.3).
+"""
+
+import re
+from dataclasses import dataclass, field
+
+KEYWORDS = {
+    "SCAN", "SELECT", "FROM", "WHERE", "EMIT", "AS", "AND", "STORE",
+    "PYUDF", "UDA", "UNNEST", "BROADCAST", "DO", "WHILE",
+    "COUNT", "SUM", "MIN", "MAX", "AVG",
+}
+
+#: Built-in aggregate keywords (parsed like UDAs, evaluated natively).
+BUILTIN_AGGREGATES = ("COUNT", "SUM", "MIN", "MAX", "AVG")
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>--[^\n]*)
+  | (?P<number>-?\d+\.\d+|-?\d+)
+  | (?P<string>'[^']*')
+  | (?P<name>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<op><=|>=|!=|=|<|>)
+  | (?P<punct>[\[\](),;.])
+    """,
+    re.VERBOSE,
+)
+
+
+class MyriaLSyntaxError(Exception):
+    """Raised on malformed MyriaL input, with position context."""
+
+
+@dataclass(frozen=True)
+class Token:
+    """Token."""
+    kind: str
+    value: str
+    position: int
+
+
+def tokenize(text):
+    """Split source text into tokens."""
+    tokens = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise MyriaLSyntaxError(
+                f"unexpected character {text[pos]!r} at offset {pos}"
+            )
+        kind = match.lastgroup
+        value = match.group()
+        pos = match.end()
+        if kind in ("ws", "comment"):
+            continue
+        if kind == "name" and value.upper() in KEYWORDS:
+            tokens.append(Token("keyword", value.upper(), match.start()))
+        else:
+            tokens.append(Token(kind, value, match.start()))
+    return tokens
+
+
+# ----------------------------------------------------------------------
+# AST
+# ----------------------------------------------------------------------
+
+@dataclass
+class Program:
+    """Program."""
+    statements: list
+
+
+@dataclass
+class Assign:
+    """Assign."""
+    name: str
+    source: object  # Scan or Query
+
+
+@dataclass
+class Store:
+    """Store."""
+    source: str
+    table: str
+
+
+@dataclass
+class Scan:
+    """Scan."""
+    table: str
+
+
+@dataclass
+class FromItem:
+    """Fromitem."""
+    name: str
+    broadcast: bool = False
+
+
+@dataclass
+class Query:
+    """Query."""
+    froms: list
+    conditions: list
+    emits: list
+
+
+@dataclass
+class Column:
+    """Column."""
+    alias: str  # may be "" for unqualified
+    name: str
+
+
+@dataclass
+class Literal:
+    """Literal."""
+    value: object
+
+
+@dataclass
+class UdfCall:
+    """Udfcall."""
+    kind: str  # "PYUDF" or "UDA"
+    fname: str
+    args: list
+
+
+@dataclass
+class Emit:
+    """Emit."""
+    expr: object
+    alias: str = ""
+
+
+@dataclass
+class Unnest:
+    """Unnest."""
+    call: UdfCall
+    aliases: list = field(default_factory=list)
+
+
+@dataclass
+class Condition:
+    """Condition."""
+    left: object
+    op: str
+    right: object
+
+    def is_join(self):
+        """Whether this condition compares two relations."""
+        return isinstance(self.left, Column) and isinstance(self.right, Column)
+
+
+@dataclass
+class DoWhile:
+    """MyriaL's imperative loop: ``DO <statements> WHILE <relation>;``.
+
+    The body repeats while the named relation (recomputed by the body)
+    is non-empty -- Section 2: MyriaL mixes "SQL-like declarative query
+    constructs and imperative statements such as loops".
+    """
+
+    body: list
+    condition: str
+
+
+# ----------------------------------------------------------------------
+# Recursive-descent parser
+# ----------------------------------------------------------------------
+
+class _Parser:
+    def __init__(self, tokens):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing -------------------------------------------------
+
+    def _peek(self):
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def _next(self):
+        token = self._peek()
+        if token is None:
+            raise MyriaLSyntaxError("unexpected end of input")
+        self.pos += 1
+        return token
+
+    def _expect(self, kind, value=None):
+        token = self._next()
+        if token.kind != kind or (value is not None and token.value != value):
+            raise MyriaLSyntaxError(
+                f"expected {value or kind} at offset {token.position},"
+                f" got {token.value!r}"
+            )
+        return token
+
+    def _accept(self, kind, value=None):
+        token = self._peek()
+        if token and token.kind == kind and (value is None or token.value == value):
+            self.pos += 1
+            return token
+        return None
+
+    # -- grammar ----------------------------------------------------------
+
+    def parse_program(self):
+        """Parse a full program (one or more statements)."""
+        statements = []
+        while self._peek() is not None:
+            statements.append(self._statement())
+            self._accept("punct", ";")
+        if not statements:
+            raise MyriaLSyntaxError("empty program")
+        return Program(statements)
+
+    def _statement(self):
+        if self._accept("keyword", "DO"):
+            body = []
+            while not self._accept("keyword", "WHILE"):
+                body.append(self._statement())
+                self._accept("punct", ";")
+                if self._peek() is None:
+                    raise MyriaLSyntaxError("DO block missing WHILE")
+            condition = self._expect("name").value
+            if not body:
+                raise MyriaLSyntaxError("empty DO body")
+            return DoWhile(body, condition)
+        if self._accept("keyword", "STORE"):
+            self._expect("punct", "(")
+            source = self._expect("name").value
+            self._expect("punct", ",")
+            table = self._expect("name").value
+            self._expect("punct", ")")
+            return Store(source, table)
+        name = self._expect("name").value
+        self._expect("op", "=")
+        if self._accept("keyword", "SCAN"):
+            self._expect("punct", "(")
+            table = self._expect("name").value
+            self._expect("punct", ")")
+            return Assign(name, Scan(table))
+        self._expect("punct", "[")
+        query = self._query()
+        self._expect("punct", "]")
+        return Assign(name, query)
+
+    def _query(self):
+        if self._accept("keyword", "SELECT"):
+            emits = self._emit_list()
+            self._expect("keyword", "FROM")
+            froms = self._from_list()
+            conditions = self._opt_where()
+            return Query(froms, conditions, emits)
+        self._expect("keyword", "FROM")
+        froms = self._from_list()
+        conditions = self._opt_where()
+        self._expect("keyword", "EMIT")
+        emits = self._emit_list()
+        return Query(froms, conditions, emits)
+
+    def _from_list(self):
+        items = [self._from_item()]
+        while self._accept("punct", ","):
+            items.append(self._from_item())
+        return items
+
+    def _from_item(self):
+        if self._accept("keyword", "BROADCAST"):
+            self._expect("punct", "(")
+            name = self._expect("name").value
+            self._expect("punct", ")")
+            return FromItem(name, broadcast=True)
+        return FromItem(self._expect("name").value)
+
+    def _opt_where(self):
+        if not self._accept("keyword", "WHERE"):
+            return []
+        conditions = [self._condition()]
+        while self._accept("keyword", "AND"):
+            conditions.append(self._condition())
+        return conditions
+
+    def _condition(self):
+        left = self._expr()
+        op = self._expect("op").value
+        right = self._expr()
+        return Condition(left, op, right)
+
+    def _emit_list(self):
+        emits = [self._emit()]
+        while self._accept("punct", ","):
+            emits.append(self._emit())
+        return emits
+
+    def _emit(self):
+        if self._accept("keyword", "UNNEST"):
+            self._expect("punct", "(")
+            call = self._expr()
+            if not isinstance(call, UdfCall) or call.kind != "PYUDF":
+                raise MyriaLSyntaxError("UNNEST expects a PYUDF call")
+            self._expect("punct", ")")
+            self._expect("keyword", "AS")
+            self._expect("punct", "(")
+            aliases = [self._expect("name").value]
+            while self._accept("punct", ","):
+                aliases.append(self._expect("name").value)
+            self._expect("punct", ")")
+            return Unnest(call, aliases)
+        expr = self._expr()
+        alias = ""
+        if self._accept("keyword", "AS"):
+            alias = self._expect("name").value
+        return Emit(expr, alias)
+
+    def _expr(self):
+        token = self._peek()
+        if token is None:
+            raise MyriaLSyntaxError("unexpected end of input in expression")
+        if token.kind == "keyword" and token.value in ("PYUDF", "UDA"):
+            self._next()
+            self._expect("punct", "(")
+            fname = self._expect("name").value
+            args = []
+            while self._accept("punct", ","):
+                args.append(self._expr())
+            self._expect("punct", ")")
+            return UdfCall(token.value, fname, args)
+        if token.kind == "keyword" and token.value in BUILTIN_AGGREGATES:
+            self._next()
+            self._expect("punct", "(")
+            args = [self._expr()]
+            self._expect("punct", ")")
+            # Built-ins behave like single-argument UDAs with reserved
+            # names, so the planner's implicit group-by applies.
+            return UdfCall("UDA", f"__builtin_{token.value.lower()}", args)
+        if token.kind == "number":
+            self._next()
+            value = float(token.value) if "." in token.value else int(token.value)
+            return Literal(value)
+        if token.kind == "string":
+            self._next()
+            return Literal(token.value[1:-1])
+        name = self._expect("name").value
+        if self._accept("punct", "."):
+            column = self._expect("name").value
+            return Column(name, column)
+        return Column("", name)
+
+
+def parse(text):
+    """Parse MyriaL text into a :class:`Program`."""
+    return _Parser(tokenize(text)).parse_program()

@@ -1,0 +1,14 @@
+"""miniSciDB: a shared-nothing multidimensional array DBMS.
+
+Reimplements the SciDB model of Section 2: arrays divided into chunks
+distributed across instances, operators processing data one chunk at a
+time, AFL-style array operations (filter, aggregate, window, join),
+two ingest paths (the slow coordinator-mediated ``from_array`` and the
+parallel ``aio_input``), and the ``stream()`` interface that pipes
+chunks as TSV through an external Python process (Section 4.1).
+"""
+
+from repro.engines.scidb.array import DimSpec, SciDBArray
+from repro.engines.scidb.query import SciDBConnection
+
+__all__ = ["DimSpec", "SciDBArray", "SciDBConnection"]

@@ -1,0 +1,15 @@
+"""miniSpark: an RDD-based cluster-computing engine.
+
+Reimplements the Spark execution model of Section 2: lazy RDD lineage
+graphs, narrow transformations fused into stages, wide transformations
+(shuffles) forming stage barriers, broadcast variables, in-memory
+caching with spill-to-disk, and per-task Python-worker serialization --
+the model whose consequences the paper measures in Figures 10, 12 and
+14 and Sections 5.3.1-5.3.3.
+"""
+
+from repro.engines.spark.broadcast import Broadcast
+from repro.engines.spark.context import SparkContext
+from repro.engines.spark.rdd import RDD
+
+__all__ = ["Broadcast", "RDD", "SparkContext"]

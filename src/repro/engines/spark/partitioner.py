@@ -1,0 +1,54 @@
+"""Hash partitioning for shuffles.
+
+Keys are hashed with a stable (non-salted) hash so shuffles are
+deterministic across runs -- Python's builtin ``hash`` is salted for
+strings, so a tiny stable hash is implemented here.
+"""
+
+
+def stable_hash(key):
+    """Deterministic hash for the key types the pipelines use."""
+    if isinstance(key, tuple):
+        value = 0x345678
+        for item in key:
+            value = (value * 1000003) ^ stable_hash(item)
+            value &= 0xFFFFFFFFFFFFFFFF
+        return value
+    if isinstance(key, str):
+        value = 5381
+        for ch in key:
+            value = ((value * 33) ^ ord(ch)) & 0xFFFFFFFFFFFFFFFF
+        return value
+    if isinstance(key, bool):
+        return int(key)
+    if isinstance(key, int):
+        return key & 0xFFFFFFFFFFFFFFFF
+    if isinstance(key, float):
+        return hash(key) & 0xFFFFFFFFFFFFFFFF
+    if key is None:
+        return 0
+    raise TypeError(f"unhashable shuffle key type: {type(key)!r}")
+
+
+class HashPartitioner:
+    """Assigns keys to ``num_partitions`` buckets by stable hash."""
+
+    def __init__(self, num_partitions):
+        if num_partitions <= 0:
+            raise ValueError(
+                f"num_partitions must be positive, got {num_partitions}"
+            )
+        self.num_partitions = int(num_partitions)
+
+    def partition_for(self, key):
+        """Bucket index for a key."""
+        return stable_hash(key) % self.num_partitions
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, HashPartitioner)
+            and other.num_partitions == self.num_partitions
+        )
+
+    def __repr__(self):
+        return f"HashPartitioner({self.num_partitions})"

@@ -1,0 +1,94 @@
+"""Array <-> CSV/TSV conversion.
+
+miniSciDB's ``aio_input`` ingest path loads CSV files (Section 4.1: "we
+first convert the NIfTI files into Comma-Separated Value (CSV) files
+that we then load into SciDB using the aio_input function"), and the
+``stream()`` interface "connects SciDB and external processes only
+through data in CSV format" (Section 5.2.3) -- TSV in the stream case.
+
+These converters are real: they produce and parse genuine text, so the
+SciDB ingest and stream code paths in the reproduction move actual data
+through the same lossy-but-faithful textual representation.
+"""
+
+import numpy as np
+
+#: Average rendered characters per float cell including separator;
+#: used for nominal CSV size estimation at paper scale.
+CSV_CHARS_PER_FLOAT = 14.0
+#: Characters per coordinate column (index + separator).
+CSV_CHARS_PER_INDEX = 5.0
+
+
+def array_to_csv(array, with_coordinates=True):
+    """Render an array as CSV text.
+
+    With ``with_coordinates`` (SciDB's load format) each line is
+    ``i0,i1,...,value`` for every element in C order; without, each line
+    holds one flattened value.
+    """
+    array = np.asarray(array)
+    lines = []
+    if with_coordinates:
+        for index in np.ndindex(array.shape):
+            coords = ",".join(str(i) for i in index)
+            lines.append(f"{coords},{array[index].item()!r}")
+    else:
+        for value in array.ravel():
+            lines.append(repr(value.item()))
+    return "\n".join(lines) + "\n"
+
+
+def csv_to_array(text, shape, dtype=np.float64, with_coordinates=True):
+    """Parse CSV text produced by :func:`array_to_csv` back to an array."""
+    shape = tuple(int(d) for d in shape)
+    out = np.zeros(shape, dtype=dtype)
+    lines = [line for line in text.splitlines() if line.strip()]
+    expected = out.size
+    if len(lines) != expected:
+        raise ValueError(f"expected {expected} CSV rows, got {len(lines)}")
+    if with_coordinates:
+        for line in lines:
+            parts = line.split(",")
+            coords = tuple(int(p) for p in parts[:-1])
+            if len(coords) != len(shape):
+                raise ValueError(
+                    f"row has {len(coords)} coordinates for rank {len(shape)}"
+                )
+            out[coords] = dtype(parts[-1]) if callable(dtype) else parts[-1]
+    else:
+        flat = np.array([float(line) for line in lines], dtype=dtype)
+        out = flat.reshape(shape)
+    return out
+
+
+def array_to_tsv(array):
+    """Render a 2-D slab as TSV, one row per line (stream() wire format)."""
+    array = np.atleast_2d(np.asarray(array))
+    if array.ndim != 2:
+        array = array.reshape(array.shape[0], -1)
+    lines = ["\t".join(repr(v) for v in row) for row in array.tolist()]
+    return "\n".join(lines) + "\n"
+
+
+def tsv_to_array(text, dtype=np.float64):
+    """Parse TSV text into a 2-D array."""
+    rows = [
+        [float(cell) for cell in line.split("\t")]
+        for line in text.splitlines()
+        if line.strip()
+    ]
+    if not rows:
+        return np.zeros((0, 0), dtype=dtype)
+    width = len(rows[0])
+    if any(len(r) != width for r in rows):
+        raise ValueError("ragged TSV rows")
+    return np.array(rows, dtype=dtype)
+
+
+def csv_nominal_bytes(nominal_elements, rank, with_coordinates=True):
+    """Estimated CSV size at paper scale for cost accounting."""
+    per_row = CSV_CHARS_PER_FLOAT
+    if with_coordinates:
+        per_row += rank * CSV_CHARS_PER_INDEX
+    return int(nominal_elements * per_row)

@@ -1,0 +1,104 @@
+"""Coupling real scaled-down arrays with nominal paper-scale sizes.
+
+The reproduction runs every pipeline on small arrays (so tests finish in
+seconds) while the simulator charges costs for the *nominal* data sizes
+of the paper: 145x145x174x288 float32 per dMRI subject, 4000x4072
+pixels per astronomy sensor exposure.  :class:`SizedArray` carries both.
+"""
+
+import numpy as np
+
+
+class SizedArray:
+    """A real ndarray plus the nominal shape it stands in for.
+
+    The nominal shape defaults to the real shape (scale factor 1), so
+    code paths that do not care about simulation can treat a
+    ``SizedArray`` as a thin array wrapper.
+    """
+
+    __slots__ = ("array", "nominal_shape", "meta")
+
+    def __init__(self, array, nominal_shape=None, meta=None):
+        self.array = np.asarray(array)
+        if nominal_shape is None:
+            nominal_shape = self.array.shape
+        self.nominal_shape = tuple(int(d) for d in nominal_shape)
+        if any(d <= 0 for d in self.nominal_shape):
+            raise ValueError(f"nominal shape must be positive: {nominal_shape}")
+        self.meta = dict(meta or {})
+
+    # ------------------------------------------------------------------
+    # Nominal accounting
+    # ------------------------------------------------------------------
+
+    @property
+    def nominal_elements(self):
+        """Element count at the paper's nominal data scale."""
+        n = 1
+        for d in self.nominal_shape:
+            n *= d
+        return n
+
+    @property
+    def nominal_bytes(self):
+        """Size in bytes at the paper's nominal data scale."""
+        return self.nominal_elements * self.array.dtype.itemsize
+
+    @property
+    def scale_factor(self):
+        """Ratio of nominal to real element counts (>= 1 in practice)."""
+        return self.nominal_elements / max(1, self.array.size)
+
+    # ------------------------------------------------------------------
+    # Structure-preserving transforms
+    # ------------------------------------------------------------------
+
+    def with_array(self, array, nominal_shape=None, meta=None):
+        """New ``SizedArray`` with the same metadata unless overridden."""
+        return SizedArray(
+            array,
+            nominal_shape=self.nominal_shape if nominal_shape is None else nominal_shape,
+            meta=self.meta if meta is None else meta,
+        )
+
+    def map(self, fn, nominal_shape=None):
+        """Apply ``fn`` to the real array, keeping nominal bookkeeping.
+
+        When ``fn`` changes the array rank or the caller knows the
+        nominal output shape, pass ``nominal_shape`` explicitly;
+        otherwise the nominal shape is scaled elementwise when ranks
+        match, or kept as-is.
+        """
+        out = np.asarray(fn(self.array))
+        if nominal_shape is None:
+            if out.shape == self.array.shape:
+                nominal_shape = self.nominal_shape
+            elif len(out.shape) == len(self.array.shape):
+                nominal_shape = tuple(
+                    max(1, round(n * o / max(1, r)))
+                    for n, o, r in zip(self.nominal_shape, out.shape, self.array.shape)
+                )
+            else:
+                nominal_shape = out.shape
+        return SizedArray(out, nominal_shape=nominal_shape, meta=self.meta)
+
+    def reduce_axis(self, fn, axis):
+        """Reduce one axis (e.g. a mean over volumes), dropping it from
+        both real and nominal shapes."""
+        out = fn(self.array, axis)
+        nominal = tuple(
+            d for i, d in enumerate(self.nominal_shape) if i != axis % len(self.nominal_shape)
+        )
+        return SizedArray(out, nominal_shape=nominal, meta=self.meta)
+
+    def __repr__(self):
+        return (
+            f"SizedArray(shape={self.array.shape}, nominal={self.nominal_shape},"
+            f" dtype={self.array.dtype})"
+        )
+
+
+def total_nominal_bytes(sized_arrays):
+    """Sum of nominal bytes across an iterable of :class:`SizedArray`."""
+    return sum(s.nominal_bytes for s in sized_arrays)

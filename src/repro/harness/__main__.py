@@ -1,0 +1,262 @@
+"""Command-line runner: regenerate any of the paper's tables/figures.
+
+Usage::
+
+    python -m repro.harness --list
+    python -m repro.harness table1 fig10a fig12a
+    python -m repro.harness fig10c --quick
+    python -m repro.harness all --quick
+
+``--quick`` swaps the benchmark dataset profile for a miniature one, so
+every experiment finishes in seconds (shapes are still indicative but
+noisier; the pytest benchmark suite asserts them at the full profile).
+"""
+
+import argparse
+import sys
+
+from repro.harness import experiments as E
+from repro.harness.loc import table1_rows
+from repro.harness.report import print_series, print_table
+
+QUICK_NEURO = {"scale": 20, "n_volumes": 24}
+QUICK_ASTRO = {"scale": 100, "n_sensors": 6}
+
+
+def _run_table1(_quick):
+    print_table(table1_rows("neuro"), title="Table 1 (neuroscience)")
+    print_table(table1_rows("astro"), title="Table 1 (astronomy)")
+
+
+def _run_fig10a(_quick):
+    print_table(E.fig10a_sizes(), title="Figure 10a: neuro data sizes (GB)")
+
+
+def _run_fig10b(_quick):
+    print_table(E.fig10b_sizes(), title="Figure 10b: astro data sizes (GB)")
+
+
+def _run_fig10c(quick):
+    rows = E.fig10c_neuro_end_to_end(
+        subject_counts=(1, 2, 4) if quick else E.NEURO_SIZES,
+        profile=QUICK_NEURO if quick else None,
+    )
+    print_series(rows, "subjects", "engine",
+                 title="Figure 10c: neuro end-to-end (simulated s)")
+    return rows
+
+
+def _run_fig10d(quick):
+    rows = E.fig10d_astro_end_to_end(
+        visit_counts=(2, 4) if quick else E.ASTRO_SIZES,
+        profile=QUICK_ASTRO if quick else None,
+    )
+    print_series(rows, "visits", "engine",
+                 title="Figure 10d: astro end-to-end (simulated s)")
+    return rows
+
+
+def _run_fig10e(quick):
+    rows = E.fig10e_neuro_normalized(rows=_run_fig10c(quick))
+    print_series(rows, "subjects", "engine", value="normalized",
+                 title="Figure 10e: normalized runtime per subject")
+
+
+def _run_fig10f(quick):
+    rows = E.fig10f_astro_normalized(rows=_run_fig10d(quick))
+    print_series(rows, "visits", "engine", value="normalized",
+                 title="Figure 10f: normalized runtime per visit")
+
+
+def _run_fig10g(quick):
+    rows = E.fig10g_neuro_speedup(
+        node_counts=(4, 8) if quick else E.CLUSTER_SIZES,
+        n_subjects=4 if quick else 25,
+        profile=QUICK_NEURO if quick else None,
+    )
+    print_series(rows, "nodes", "engine",
+                 title="Figure 10g: neuro runtime vs cluster size")
+
+
+def _run_fig10h(quick):
+    rows = E.fig10h_astro_speedup(
+        node_counts=(4, 8) if quick else E.CLUSTER_SIZES,
+        n_visits=4 if quick else 24,
+        profile=QUICK_ASTRO if quick else None,
+    )
+    print_series(rows, "nodes", "engine",
+                 title="Figure 10h: astro runtime vs cluster size")
+
+
+def _run_fig11(quick):
+    rows = E.fig11_ingest(
+        subject_counts=(1, 2) if quick else E.NEURO_SIZES,
+        profile=QUICK_NEURO if quick else None,
+    )
+    print_series(rows, "subjects", "system",
+                 title="Figure 11: ingest time (simulated s, log y)")
+
+
+def _run_fig12a(quick):
+    rows = E.fig12a_filter(
+        n_subjects=2 if quick else 25,
+        profile=QUICK_NEURO if quick else None,
+    )
+    print_table(rows, title="Figure 12a: filter step")
+
+
+def _run_fig12b(quick):
+    rows = E.fig12b_mean(
+        n_subjects=2 if quick else 25,
+        profile=QUICK_NEURO if quick else None,
+    )
+    print_table(rows, title="Figure 12b: mean step")
+
+
+def _run_fig12c(quick):
+    rows = E.fig12c_denoise(
+        n_subjects=2 if quick else 25,
+        profile=QUICK_NEURO if quick else None,
+    )
+    print_table(rows, title="Figure 12c: denoise step")
+
+
+def _run_fig12d(quick):
+    rows = E.fig12d_coadd(
+        n_visits=4 if quick else 24,
+        profile=QUICK_ASTRO if quick else None,
+    )
+    print_table(rows, title="Figure 12d: co-addition step")
+
+
+def _run_fig13(quick):
+    rows = E.fig13_myria_workers(
+        n_subjects=2 if quick else 25,
+        n_nodes=4 if quick else 16,
+        profile=QUICK_NEURO if quick else None,
+    )
+    print_table(rows, title="Figure 13: Myria workers per node")
+
+
+def _run_fig14(quick):
+    rows = E.fig14_spark_partitions(
+        partition_counts=(1, 4, 16) if quick else None or
+        (1, 2, 4, 8, 16, 32, 64, 97, 128, 192, 256),
+        profile={"scale": 20, "n_volumes": 24} if quick else None,
+    )
+    print_table(rows, title="Figure 14: Spark input partitions")
+
+
+def _run_fig15(quick):
+    rows = E.fig15_myria_memory(
+        visit_counts=(2,) if quick else (2, 8, 24, 96),
+        n_nodes=4 if quick else 16,
+        profile=QUICK_ASTRO if quick else None,
+    )
+    print_series(rows, "visits", "mode",
+                 title="Figure 15: Myria memory management")
+
+
+def _run_s531(quick):
+    rows = E.s531_scidb_chunks(
+        chunk_sizes=(500, 1000) if quick else (500, 1000, 1500, 2000),
+        n_visits=4 if quick else 24,
+        profile=QUICK_ASTRO if quick else None,
+    )
+    print_table(rows, title="Section 5.3.1: SciDB chunk size")
+
+
+def _run_s533(quick):
+    rows = E.s533_spark_caching(
+        subject_counts=(2,) if quick else (1, 4, 12, 25),
+        n_nodes=4 if quick else 16,
+        profile=QUICK_NEURO if quick else None,
+    )
+    print_series(rows, "subjects", "cached",
+                 title="Section 5.3.3: Spark input caching")
+
+
+def _run_ablation(quick):
+    rows = E.ablation_scidb_incremental(
+        n_visits=4 if quick else 24,
+        profile=QUICK_ASTRO if quick else None,
+    )
+    print_table(rows, title="Ablation: SciDB incremental iteration [34]")
+
+
+def _run_ablation_tf(quick):
+    rows = E.ablation_tf_format_conversion(
+        n_subjects=2 if quick else 4,
+        profile=QUICK_NEURO if quick else None,
+    )
+    print_table(rows, title="Ablation: TF format conversions (Section 6)")
+
+
+def _run_ablation_tuning(quick):
+    rows = E.ablation_spark_self_tuning(
+        profile={"scale": 20, "n_volumes": 48} if quick else None,
+        n_nodes=8 if quick else 16,
+    )
+    print_table(rows, title="Ablation: Spark default vs tuned partitions")
+
+
+EXPERIMENTS = {
+    "table1": _run_table1,
+    "fig10a": _run_fig10a,
+    "fig10b": _run_fig10b,
+    "fig10c": _run_fig10c,
+    "fig10d": _run_fig10d,
+    "fig10e": _run_fig10e,
+    "fig10f": _run_fig10f,
+    "fig10g": _run_fig10g,
+    "fig10h": _run_fig10h,
+    "fig11": _run_fig11,
+    "fig12a": _run_fig12a,
+    "fig12b": _run_fig12b,
+    "fig12c": _run_fig12c,
+    "fig12d": _run_fig12d,
+    "fig13": _run_fig13,
+    "fig14": _run_fig14,
+    "fig15": _run_fig15,
+    "s531": _run_s531,
+    "s533": _run_s533,
+    "ablation": _run_ablation,
+    "ablation-tf": _run_ablation_tf,
+    "ablation-tuning": _run_ablation_tuning,
+}
+
+
+def main(argv=None):
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description="Regenerate tables/figures from the paper's evaluation.",
+    )
+    parser.add_argument(
+        "experiments", nargs="*",
+        help="experiment ids (see --list), or 'all'",
+    )
+    parser.add_argument("--list", action="store_true",
+                        help="list experiment ids and exit")
+    parser.add_argument("--quick", action="store_true",
+                        help="miniature datasets (seconds instead of minutes)")
+    args = parser.parse_args(argv)
+
+    if args.list or not args.experiments:
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+
+    names = list(EXPERIMENTS) if args.experiments == ["all"] else args.experiments
+    for name in names:
+        if name not in EXPERIMENTS:
+            parser.error(
+                f"unknown experiment {name!r}; use --list to see choices"
+            )
+        EXPERIMENTS[name](args.quick)
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,959 @@
+"""One experiment per table/figure of the paper's evaluation.
+
+Every function returns a list of row dicts (one per plotted point /
+table cell) with a ``simulated_s`` field holding seconds on the virtual
+cluster clock.  See DESIGN.md section 5 for the experiment index and
+EXPERIMENTS.md for the paper-vs-measured comparison.
+"""
+
+import numpy as np
+
+from repro.cluster.errors import OutOfMemoryError
+from repro.data.catalog import (
+    NEURO_VOLUME_SHAPE,
+    astro_size_table,
+    neuro_size_table,
+)
+from repro.engines.base import udf
+from repro.harness.runner import (
+    ASTRO_BENCH,
+    DEFAULT_NODES,
+    NEURO_BENCH,
+    Stopwatch,
+    astro_visits,
+    fresh_engine,
+    neuro_subjects,
+)
+from repro.pipelines.astro import on_myria as astro_myria
+from repro.pipelines.astro import on_scidb as astro_scidb
+from repro.pipelines.astro import on_spark as astro_spark
+from repro.pipelines.astro import reference as astro_ref
+from repro.pipelines.astro.staging import stage_visits
+from repro.pipelines.neuro import on_dask as neuro_dask
+from repro.pipelines.neuro import on_myria as neuro_myria
+from repro.pipelines.neuro import on_scidb as neuro_scidb
+from repro.pipelines.neuro import on_spark as neuro_spark
+from repro.pipelines.neuro import on_tensorflow as neuro_tf
+from repro.pipelines.neuro.staging import gradient_tables, stage_subjects
+
+NEURO_SIZES = (1, 2, 4, 8, 12, 25)
+ASTRO_SIZES = (2, 4, 8, 12, 24)
+CLUSTER_SIZES = (16, 32, 48, 64)
+
+
+# ----------------------------------------------------------------------
+# Figure 10a / 10b: data-size tables
+# ----------------------------------------------------------------------
+
+def fig10a_sizes():
+    """Fig10a sizes."""
+    return neuro_size_table()
+
+
+def fig10b_sizes():
+    """Fig10b sizes."""
+    return astro_size_table()
+
+
+# ----------------------------------------------------------------------
+# End-to-end runners (shared by Figures 10c-10h, 13, 14, §5.3.3)
+# ----------------------------------------------------------------------
+
+def run_neuro_end_to_end(kind, subjects, n_nodes=DEFAULT_NODES, **tuning):
+    """One tuned end-to-end neuroscience trial; returns simulated secs.
+
+    Starts "with data stored in Amazon S3", executes all steps, and
+    materializes output in worker memory (Section 5.1).  Staging time
+    is excluded (data was staged ahead of the experiment).
+    """
+    cluster, engine = fresh_engine(
+        kind, n_nodes=n_nodes, workers_per_node=tuning.pop("workers_per_node", None)
+    )
+    stage_subjects(cluster.object_store, subjects)
+    watch = Stopwatch(cluster)
+    if kind == "spark":
+        tuning.setdefault("input_partitions", cluster.spec.total_slots)
+        tuning.setdefault("cache_input", True)
+        neuro_spark.run(engine, subjects, **tuning)
+    elif kind == "myria":
+        neuro_myria.run(engine, subjects, source="s3", **tuning)
+    elif kind == "dask":
+        neuro_dask.run(engine, subjects, **tuning)
+    else:
+        raise ValueError(f"no end-to-end neuroscience runner for {kind!r}")
+    return watch.lap()
+
+
+def run_astro_end_to_end(kind, visits, n_nodes=DEFAULT_NODES, **tuning):
+    """One tuned end-to-end astronomy trial; returns simulated seconds."""
+    cluster, engine = fresh_engine(
+        kind, n_nodes=n_nodes, workers_per_node=tuning.pop("workers_per_node", None)
+    )
+    stage_visits(cluster.object_store, visits)
+    watch = Stopwatch(cluster)
+    if kind == "spark":
+        tuning.setdefault("input_partitions", cluster.spec.total_slots)
+        astro_spark.run(engine, visits, **tuning)
+    elif kind == "myria":
+        astro_myria.run(engine, visits, source="s3", **tuning)
+    elif kind == "dask":
+        from repro.pipelines.astro import on_dask as astro_dask
+
+        astro_dask.run(engine, visits, **tuning)
+    else:
+        raise ValueError(f"no end-to-end astronomy runner for {kind!r}")
+    return watch.lap()
+
+
+# ----------------------------------------------------------------------
+# Figures 10c-10f: end-to-end vs data size (+ normalized views)
+# ----------------------------------------------------------------------
+
+def fig10c_neuro_end_to_end(subject_counts=NEURO_SIZES,
+                            engines=("dask", "myria", "spark"),
+                            n_nodes=DEFAULT_NODES, profile=None):
+    """Fig10c neuro end to end."""
+    profile = profile or NEURO_BENCH
+    rows = []
+    for count in subject_counts:
+        subjects = neuro_subjects(count, **profile)
+        for kind in engines:
+            rows.append(
+                {
+                    "engine": kind,
+                    "subjects": count,
+                    "simulated_s": run_neuro_end_to_end(
+                        kind, subjects, n_nodes=n_nodes
+                    ),
+                }
+            )
+    return rows
+
+
+def fig10d_astro_end_to_end(visit_counts=ASTRO_SIZES,
+                            engines=("myria", "spark"),
+                            n_nodes=DEFAULT_NODES, profile=None):
+    """Dask is excluded to match the paper ("the implementation freezes
+    once deployed on a cluster ... we do not report performance
+    numbers", Section 4.4); pass engines=(..., "dask") to include our
+    working implementation anyway."""
+    profile = profile or ASTRO_BENCH
+    rows = []
+    for count in visit_counts:
+        visits = astro_visits(count, **profile)
+        for kind in engines:
+            rows.append(
+                {
+                    "engine": kind,
+                    "visits": count,
+                    "simulated_s": run_astro_end_to_end(
+                        kind, visits, n_nodes=n_nodes
+                    ),
+                }
+            )
+    return rows
+
+
+def normalized_per_unit(rows, unit_key):
+    """Figures 10e/10f: runtime per unit, normalized to the smallest
+    size (the paper's "ratios of each pipeline runtime to that obtained
+    for one subject")."""
+    engines = sorted({r["engine"] for r in rows})
+    out = []
+    for engine in engines:
+        engine_rows = sorted(
+            (r for r in rows if r["engine"] == engine), key=lambda r: r[unit_key]
+        )
+        base = engine_rows[0]
+        base_per_unit = base["simulated_s"] / base[unit_key]
+        for row in engine_rows:
+            per_unit = row["simulated_s"] / row[unit_key]
+            out.append(
+                {
+                    "engine": engine,
+                    unit_key: row[unit_key],
+                    "normalized": per_unit / base_per_unit,
+                }
+            )
+    return out
+
+
+def fig10e_neuro_normalized(rows=None, **kwargs):
+    """Fig10e neuro normalized."""
+    rows = rows if rows is not None else fig10c_neuro_end_to_end(**kwargs)
+    return normalized_per_unit(rows, "subjects")
+
+
+def fig10f_astro_normalized(rows=None, **kwargs):
+    """Fig10f astro normalized."""
+    rows = rows if rows is not None else fig10d_astro_end_to_end(**kwargs)
+    return normalized_per_unit(rows, "visits")
+
+
+# ----------------------------------------------------------------------
+# Figures 10g/10h: end-to-end vs cluster size
+# ----------------------------------------------------------------------
+
+def fig10g_neuro_speedup(node_counts=CLUSTER_SIZES, n_subjects=25,
+                         engines=("dask", "myria", "spark"), profile=None):
+    """Fig10g neuro speedup."""
+    profile = profile or NEURO_BENCH
+    subjects = neuro_subjects(n_subjects, **profile)
+    rows = []
+    for n_nodes in node_counts:
+        for kind in engines:
+            rows.append(
+                {
+                    "engine": kind,
+                    "nodes": n_nodes,
+                    "simulated_s": run_neuro_end_to_end(
+                        kind, subjects, n_nodes=n_nodes
+                    ),
+                }
+            )
+    return rows
+
+
+def fig10h_astro_speedup(node_counts=CLUSTER_SIZES, n_visits=24,
+                         engines=("myria", "spark"), profile=None):
+    """Fig10h astro speedup."""
+    profile = profile or ASTRO_BENCH
+    visits = astro_visits(n_visits, **profile)
+    rows = []
+    for n_nodes in node_counts:
+        for kind in engines:
+            rows.append(
+                {
+                    "engine": kind,
+                    "nodes": n_nodes,
+                    "simulated_s": run_astro_end_to_end(
+                        kind, visits, n_nodes=n_nodes
+                    ),
+                }
+            )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 11: data ingest (neuroscience)
+# ----------------------------------------------------------------------
+
+def _charge_nifti_to_numpy_staging(cluster, subjects):
+    """Conversion of NIfTI files to pickled-NumPy S3 objects, run in
+    parallel across the cluster; "the conversion time is included in
+    the data ingest time" (Section 5.2.1)."""
+    from repro.cluster.task import Task
+
+    cm = cluster.cost_model
+    total = sum(s.nominal_bytes for s in subjects)
+    share = total / cluster.spec.n_nodes
+    tasks = [
+        Task(
+            f"nifti-convert-{node}",
+            duration=share / cm.nifti_parse_bandwidth
+            + cm.pickle_time(share)
+            + share / cm.s3_bandwidth_per_node,
+            node=node,
+        )
+        for node in cluster.node_order
+    ]
+    cluster.run(tasks)
+
+
+def fig11_ingest(subject_counts=NEURO_SIZES, profile=None,
+                 systems=("spark", "myria", "dask", "tensorflow",
+                          "scidb-1", "scidb-2")):
+    """Fig11 ingest."""
+    profile = profile or NEURO_BENCH
+    rows = []
+    for count in subject_counts:
+        subjects = neuro_subjects(count, **profile)
+        for system in systems:
+            rows.append(
+                {
+                    "system": system,
+                    "subjects": count,
+                    "simulated_s": _ingest_once(system, subjects),
+                }
+            )
+    return rows
+
+
+def _ingest_once(system, subjects):
+    kind = "scidb" if system.startswith("scidb") else system
+    cluster, engine = fresh_engine(kind)
+    engine.ensure_started()  # ingest measured on a warm deployment
+    watch = Stopwatch(cluster)
+
+    if system in ("spark", "myria"):
+        _charge_nifti_to_numpy_staging(cluster, subjects)
+        stage_subjects(cluster.object_store, subjects)
+        if system == "spark":
+            rdd = neuro_spark.build_image_rdd(
+                engine, partitions=cluster.spec.total_slots, cache=True
+            )
+            rdd.persist_to_workers()
+        else:
+            neuro_myria.ingest(engine, subjects)
+        return watch.lap()
+
+    if system == "dask":
+        # Dask loads NIfTI directly into worker memory with manual
+        # placement (Section 5.2.1); the paper fit at most 3 subjects
+        # per node, so subjects round-robin across nodes.
+        stage_subjects(cluster.object_store, subjects)
+        nodes = cluster.node_order
+        delayed = [
+            vol
+            for i, subject in enumerate(subjects)
+            for vol in neuro_dask.download_and_filter(
+                engine, subject, workers=nodes[i % len(nodes)]
+            )
+        ]
+        engine.compute(delayed)
+        return watch.lap()
+
+    if system == "tensorflow":
+        # All ingest goes through the master, then partitions are sent
+        # to each node in a pipelined fashion (Section 5.2.1).
+        cm = cluster.cost_model
+        total = sum(s.nominal_bytes for s in subjects)
+        engine.ensure_started()
+        cluster.charge_master(
+            cm.s3_read_time(total, n_objects=len(subjects))
+            + total / cm.nifti_parse_bandwidth
+            + cm.tensor_convert_time(total),
+            label="TF master ingest",
+        )
+        # Pipelined scatter: the master sends node-shares sequentially,
+        # overlapping with the next read; charge the serial send.
+        share = total / cluster.spec.n_nodes
+        for node in cluster.node_order:
+            cluster.charge_master(
+                cluster.network.transfer_time(share, cluster.master, node),
+                label="TF scatter",
+            )
+        return watch.lap()
+
+    if system in ("scidb-1", "scidb-2"):
+        method = "from_array" if system == "scidb-1" else "aio"
+        for subject in subjects:
+            neuro_scidb.ingest(engine, subject, method=method)
+        return watch.lap()
+
+    raise ValueError(f"unknown ingest system {system!r}")
+
+
+# ----------------------------------------------------------------------
+# Figure 12: individual steps (16 nodes, largest dataset)
+# ----------------------------------------------------------------------
+
+def fig12a_filter(n_subjects=25, profile=None,
+                  systems=("dask", "myria", "spark", "scidb", "tensorflow")):
+    """Step: select the b0 subset of image volumes."""
+    profile = profile or NEURO_BENCH
+    subjects = neuro_subjects(n_subjects, **profile)
+    rows = []
+    for system in systems:
+        rows.append(
+            {
+                "system": system,
+                "simulated_s": _filter_once(system, subjects),
+            }
+        )
+    return rows
+
+
+def _filter_once(system, subjects):
+    cluster, engine = fresh_engine(system)
+    gtabs = gradient_tables(subjects)
+    stage_subjects(cluster.object_store, subjects)
+
+    if system == "spark":
+        base = neuro_spark.build_image_rdd(
+            engine, partitions=cluster.spec.total_slots, cache=True
+        )
+        base.persist_to_workers()  # data in memory, untimed
+        watch = Stopwatch(cluster)
+        neuro_spark.filter_b0(engine, base, gtabs).persist_to_workers()
+        return watch.lap()
+
+    if system == "myria":
+        neuro_myria.ingest(engine, subjects)
+        watch = Stopwatch(cluster)
+        from repro.engines.myria.connection import MyriaQuery
+
+        MyriaQuery.submit(engine, neuro_myria.FILTER_QUERY)
+        return watch.lap()
+
+    if system == "dask":
+        import numpy as np
+
+        nodes = cluster.node_order
+        downloads = {
+            s.subject_id: neuro_dask.download_and_filter(
+                engine, s, workers=nodes[i % len(nodes)]
+            )
+            for i, s in enumerate(subjects)
+        }
+        engine.compute([v for vols in downloads.values() for v in vols])
+        watch = Stopwatch(cluster)
+
+        def select(*volumes):
+            return list(volumes)
+
+        def select_cost(*volumes):
+            total = sum(v.nominal_bytes for v in volumes)
+            return total * engine.cost_model.memcpy_per_byte
+
+        filtered = []
+        for s in subjects:
+            b0 = [
+                downloads[s.subject_id][i]
+                for i in np.nonzero(s.gtab.b0s_mask)[0]
+            ]
+            filtered.append(engine.delayed(select, cost=select_cost)(*b0))
+        engine.compute(filtered)
+        return watch.lap()
+
+    if system == "scidb":
+        array = neuro_scidb.ingest_cohort(engine, subjects, method="aio")
+        watch = Stopwatch(cluster)
+        neuro_scidb.filter_step_cohort(engine, array, subjects)
+        return watch.lap()
+
+    if system == "tensorflow":
+        watch = Stopwatch(cluster)
+        for subject in subjects:
+            neuro_tf.filter_step(engine, subject)
+        return watch.lap()
+
+    raise ValueError(f"unknown system {system!r}")
+
+
+def fig12b_mean(n_subjects=25, profile=None,
+                systems=("dask", "myria", "spark", "scidb", "tensorflow")):
+    """Step: per-subject mean of the b0 volumes."""
+    profile = profile or NEURO_BENCH
+    subjects = neuro_subjects(n_subjects, **profile)
+    rows = []
+    for system in systems:
+        rows.append(
+            {"system": system, "simulated_s": _mean_once(system, subjects)}
+        )
+    return rows
+
+
+def _mean_once(system, subjects):
+    cluster, engine = fresh_engine(system)
+    gtabs = gradient_tables(subjects)
+    stage_subjects(cluster.object_store, subjects)
+
+    if system == "spark":
+        base = neuro_spark.build_image_rdd(
+            engine, partitions=cluster.spec.total_slots, cache=True
+        )
+        b0 = neuro_spark.filter_b0(engine, base, gtabs).cache()
+        b0.persist_to_workers()  # untimed: input of the mean step
+        watch = Stopwatch(cluster)
+        neuro_spark.mean_b0(engine, b0).persist_to_workers()
+        return watch.lap()
+
+    if system == "myria":
+        neuro_myria.ingest(engine, subjects)
+        neuro_myria.register_udfs(engine, subjects)
+        watch = Stopwatch(cluster)
+        from repro.engines.myria.connection import MyriaQuery
+
+        MyriaQuery.submit(engine, neuro_myria.MEAN_QUERY)
+        return watch.lap()
+
+    if system == "dask":
+        nodes = cluster.node_order
+        downloads = {
+            s.subject_id: neuro_dask.download_and_filter(
+                engine, s, workers=nodes[i % len(nodes)]
+            )
+            for i, s in enumerate(subjects)
+        }
+        engine.compute([v for vols in downloads.values() for v in vols])
+        watch = Stopwatch(cluster)
+        means = [
+            neuro_dask.build_mask_graph(engine, s, downloads[s.subject_id])
+            for s in subjects
+        ]
+        engine.compute(means)
+        return watch.lap()
+
+    if system == "scidb":
+        array = neuro_scidb.ingest_cohort(engine, subjects, method="aio")
+        filtered = neuro_scidb.filter_step_cohort(engine, array, subjects)
+        watch = Stopwatch(cluster)
+        neuro_scidb.mean_step_cohort(engine, filtered)
+        return watch.lap()
+
+    if system == "tensorflow":
+        filtered = [neuro_tf.filter_step(engine, s) for s in subjects]
+        watch = Stopwatch(cluster)
+        for f in filtered:
+            neuro_tf.mean_step(engine, f)
+        return watch.lap()
+
+    raise ValueError(f"unknown system {system!r}")
+
+
+def fig12c_denoise(n_subjects=25, profile=None,
+                   systems=("dask", "myria", "spark", "scidb", "tensorflow")):
+    """Step 2-N: denoising (SciDB via stream(), TF via convolutions)."""
+    profile = profile or NEURO_BENCH
+    subjects = neuro_subjects(n_subjects, **profile)
+    rows = []
+    for system in systems:
+        rows.append(
+            {"system": system, "simulated_s": _denoise_once(system, subjects)}
+        )
+    return rows
+
+
+def _denoise_once(system, subjects):
+    from repro.pipelines.neuro.reference import compute_mask
+
+    cluster, engine = fresh_engine(system)
+    gtabs = gradient_tables(subjects)
+    stage_subjects(cluster.object_store, subjects)
+    masks = {s.subject_id: compute_mask(s) for s in subjects}
+
+    if system == "spark":
+        from repro.algorithms.nlmeans import nlmeans_3d
+        from repro.pipelines import common
+        from repro.pipelines.neuro.reference import DENOISE_SIGMA
+
+        base = neuro_spark.build_image_rdd(
+            engine, partitions=cluster.spec.total_slots, cache=True
+        )
+        base.persist_to_workers()
+        fraction = float(np.mean([m.mean() for m in masks.values()]))
+        masks_b = engine.broadcast(
+            masks, nominal_bytes=sum(m.size for m in masks.values())
+        )
+        watch = Stopwatch(cluster)
+
+        def denoise(volume):
+            mask = masks_b.value[volume.meta["subject_id"]]
+            return volume.with_array(
+                nlmeans_3d(volume.array, sigma=DENOISE_SIGMA, mask=mask)
+            )
+
+        base.map(
+            udf(denoise, cost=common.denoise_cost(cluster.cost_model, fraction))
+        ).persist_to_workers()
+        return watch.lap()
+
+    if system == "myria":
+        neuro_myria.ingest(engine, subjects)
+        fraction = float(np.mean([m.mean() for m in masks.values()]))
+        neuro_myria.register_udfs(engine, subjects, mask_fraction=fraction)
+        neuro_myria._MASK_CACHE.clear()
+        neuro_myria._MASK_CACHE.update(masks)
+        from repro.engines.myria import Relation
+        from repro.formats.sizing import SizedArray
+
+        mask_rows = [
+            (
+                sid,
+                SizedArray(
+                    mask,
+                    nominal_shape=NEURO_VOLUME_SHAPE,
+                    meta={"subject_id": sid},
+                ),
+            )
+            for sid, mask in masks.items()
+        ]
+        engine.ingest_relation(
+            Relation.from_rows("Mask", ("subjId", "mask"), mask_rows), "subjId"
+        )
+        watch = Stopwatch(cluster)
+        from repro.engines.myria.connection import MyriaQuery
+
+        MyriaQuery.submit(
+            engine,
+            """
+T1 = SCAN(Images);
+T2 = SCAN(Mask);
+Joined = [SELECT T1.subjId, T1.imgId, T1.img, T2.mask
+          FROM T1, BROADCAST(T2) WHERE T1.subjId = T2.subjId];
+Denoised = [FROM Joined EMIT PYUDF(Denoise, Joined.img, Joined.mask) AS img,
+            Joined.subjId, Joined.imgId];
+""",
+        )
+        return watch.lap()
+
+    if system == "dask":
+        nodes = cluster.node_order
+        downloads = {
+            s.subject_id: neuro_dask.download_and_filter(
+                engine, s, workers=nodes[i % len(nodes)]
+            )
+            for i, s in enumerate(subjects)
+        }
+        mask_delayed = {
+            s.subject_id: neuro_dask.build_mask_graph(
+                engine, s, downloads[s.subject_id]
+            )
+            for s in subjects
+        }
+        engine.compute(
+            [v for vols in downloads.values() for v in vols]
+            + list(mask_delayed.values())
+        )
+        watch = Stopwatch(cluster)
+        from repro.algorithms.nlmeans import nlmeans_3d
+        from repro.pipelines import common
+        from repro.pipelines.neuro.reference import DENOISE_SIGMA
+
+        cm = cluster.cost_model
+
+        def denoise_one(volume, mask):
+            return volume.with_array(
+                nlmeans_3d(volume.array, sigma=DENOISE_SIGMA, mask=mask)
+            )
+
+        def denoise_cost(volume, mask):
+            fraction = common.masked_fraction(mask)
+            return volume.nominal_elements * fraction * cm.nlmeans_per_voxel
+
+        denoised = [
+            engine.delayed(denoise_one, cost=denoise_cost)(
+                vol, mask_delayed[s.subject_id]
+            )
+            for s in subjects
+            for vol in downloads[s.subject_id]
+        ]
+        engine.compute(denoised)
+        return watch.lap()
+
+    if system == "scidb":
+        array = neuro_scidb.ingest_cohort(engine, subjects, method="aio")
+        masks_by_index = {
+            i: masks[s.subject_id] for i, s in enumerate(subjects)
+        }
+        watch = Stopwatch(cluster)
+        neuro_scidb.denoise_step_cohort(engine, array, masks_by_index)
+        return watch.lap()
+
+    if system == "tensorflow":
+        watch = Stopwatch(cluster)
+        for s in subjects:
+            neuro_tf.denoise_step(engine, s)
+        return watch.lap()
+
+    raise ValueError(f"unknown system {system!r}")
+
+
+def fig12d_coadd(n_visits=24, profile=None,
+                 systems=("myria", "spark", "scidb")):
+    """Step 3-A: co-addition (SciDB in stock iterative AQL)."""
+    profile = profile or ASTRO_BENCH
+    visits = astro_visits(n_visits, **profile)
+    rows = []
+    for system in systems:
+        rows.append(
+            {"system": system, "simulated_s": _coadd_once(system, visits)}
+        )
+    return rows
+
+
+def _coadd_once(system, visits, incremental=False, chunk=None):
+    from repro.pipelines import common
+
+    cluster, engine = fresh_engine(system)
+    stage_visits(cluster.object_store, visits)
+    exposures = [e for v in visits for e in v.exposures]
+    grid = astro_ref.default_patch_grid(exposures[0].shape)
+    pixel_scale = astro_ref.nominal_pixel_scale(
+        exposures[0].shape, exposures[0].bundle
+    )
+
+    if system == "spark":
+        base = astro_spark.build_exposure_rdd(
+            engine, partitions=cluster.spec.total_slots, cache=True
+        )
+        calibrated = base.map(
+            udf(astro_ref.preprocess_exposure,
+                cost=common.preprocess_cost(cluster.cost_model))
+        )
+
+        def to_pieces(exposure):
+            return astro_ref.patch_pieces(exposure, grid, pixel_scale)
+
+        def stitch(kv):
+            return kv[0], astro_ref.stitch_pieces(kv[1])
+
+        patch_exp = (
+            calibrated.flatMap(
+                udf(to_pieces, cost=common.patch_map_cost(cluster.cost_model))
+            )
+            .groupByKey(numPartitions=cluster.spec.total_slots)
+            .map(udf(stitch))
+            .cache()
+        )
+        patch_exp.persist_to_workers()  # input of the step, untimed
+        watch = Stopwatch(cluster)
+
+        def rekey(kv):
+            (patch_id, visit_id), stitched = kv
+            return patch_id, (visit_id, stitched)
+
+        def coadd(kv):
+            ordered = [s for _v, s in sorted(kv[1], key=lambda e: e[0])]
+            return kv[0], astro_ref.coadd_patch(ordered)
+
+        def coadd_cost(kv):
+            return common.coadd_cost(
+                cluster.cost_model, astro_ref.COADD_ITERATIONS
+            )([s for _v, s in kv[1]])
+
+        (
+            patch_exp.map(udf(rekey))
+            .groupByKey(numPartitions=cluster.spec.total_slots)
+            .map(udf(coadd, cost=coadd_cost))
+            .persist_to_workers()
+        )
+        return watch.lap()
+
+    if system == "myria":
+        astro_myria.ingest(engine, visits)
+        astro_myria.register_udfs(engine, grid, pixel_scale)
+        from repro.engines.myria.connection import MyriaQuery
+
+        MyriaQuery.submit(
+            engine,
+            """
+E = SCAN(Exposures);
+Calib = [FROM E EMIT PYUDF(Preproc, E.img) AS img, E.visit, E.expId];
+Pieces = [FROM Calib EMIT
+          UNNEST(PYUDF(PatchMap, Calib.img)) AS (patchY, patchX, visitId, piece)];
+PatchExp = [FROM Pieces EMIT Pieces.patchY, Pieces.patchX, Pieces.visitId,
+            UDA(Stitch, Pieces.piece) AS img];
+STORE(PatchExp, PatchExposures);
+""",
+        )
+        watch = Stopwatch(cluster)
+        MyriaQuery.submit(
+            engine,
+            """
+P = SCAN(PatchExposures);
+Coadds = [FROM P EMIT P.patchY, P.patchX, UDA(CoaddAgg, P.img, P.visitId) AS coadd];
+""",
+        )
+        return watch.lap()
+
+    if system == "scidb":
+        array = astro_scidb.ingest(
+            engine, visits, chunk=chunk or astro_scidb.DEFAULT_CHUNK
+        )
+        watch = Stopwatch(cluster)
+        astro_scidb.coadd_step(engine, array, incremental=incremental)
+        return watch.lap()
+
+    raise ValueError(f"unknown system {system!r}")
+
+
+# ----------------------------------------------------------------------
+# Figure 13: Myria workers per node
+# ----------------------------------------------------------------------
+
+def fig13_myria_workers(worker_counts=(1, 2, 4, 8), n_subjects=25,
+                        n_nodes=DEFAULT_NODES, profile=None):
+    """Fig13 myria workers."""
+    profile = profile or NEURO_BENCH
+    subjects = neuro_subjects(n_subjects, **profile)
+    rows = []
+    for workers in worker_counts:
+        rows.append(
+            {
+                "workers_per_node": workers,
+                "simulated_s": run_neuro_end_to_end(
+                    "myria", subjects, n_nodes=n_nodes,
+                    workers_per_node=workers,
+                ),
+            }
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 14: Spark input partitions (single subject)
+# ----------------------------------------------------------------------
+
+def fig14_spark_partitions(
+    partition_counts=(1, 2, 4, 8, 16, 32, 64, 97, 128, 192, 256),
+    n_nodes=DEFAULT_NODES, profile=None,
+):
+    """Fig14 spark partitions."""
+    profile = profile or {"scale": NEURO_BENCH["scale"], "n_volumes": 288}
+    subjects = neuro_subjects(1, **profile)
+    rows = []
+    for partitions in partition_counts:
+        rows.append(
+            {
+                "partitions": partitions,
+                "simulated_s": run_neuro_end_to_end(
+                    "spark", subjects, n_nodes=n_nodes,
+                    input_partitions=partitions,
+                    group_partitions=max(partitions, 1),
+                ),
+            }
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 15: Myria memory management (astronomy)
+# ----------------------------------------------------------------------
+
+def fig15_myria_memory(visit_counts=(2, 4, 8, 12, 24),
+                       modes=("pipelined", "materialized", "multiquery"),
+                       n_nodes=DEFAULT_NODES, chunks=2, profile=None):
+    """Pipelined vs materialized vs multi-query execution; cells where
+    a mode runs out of memory report ``"OOM"`` (the paper's missing
+    bars)."""
+    profile = profile or ASTRO_BENCH
+    rows = []
+    for count in visit_counts:
+        visits = astro_visits(count, **profile)
+        for mode in modes:
+            cluster, engine = fresh_engine("myria", n_nodes=n_nodes)
+            stage_visits(cluster.object_store, visits)
+            watch = Stopwatch(cluster)
+            try:
+                astro_myria.run(
+                    engine, visits, mode=mode,
+                    chunks=chunks if mode == "multiquery" else 1,
+                    source="s3",
+                )
+                result = watch.lap()
+            except OutOfMemoryError:
+                result = "OOM"
+            rows.append(
+                {"visits": count, "mode": mode, "simulated_s": result}
+            )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Section 5.3.1: SciDB chunk-size tuning (co-addition)
+# ----------------------------------------------------------------------
+
+def s531_scidb_chunks(chunk_sizes=(500, 1000, 1500, 2000), n_visits=24,
+                      profile=None):
+    """S531 scidb chunks."""
+    profile = profile or ASTRO_BENCH
+    visits = astro_visits(n_visits, **profile)
+    rows = []
+    for chunk in chunk_sizes:
+        rows.append(
+            {
+                "chunk": chunk,
+                "simulated_s": _coadd_once("scidb", visits, chunk=chunk),
+            }
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Section 5.3.3: Spark input caching
+# ----------------------------------------------------------------------
+
+def s533_spark_caching(subject_counts=(1, 4, 12, 25), n_nodes=DEFAULT_NODES,
+                       profile=None):
+    """S533 spark caching."""
+    profile = profile or NEURO_BENCH
+    rows = []
+    for count in subject_counts:
+        subjects = neuro_subjects(count, **profile)
+        for cached in (False, True):
+            rows.append(
+                {
+                    "subjects": count,
+                    "cached": cached,
+                    "simulated_s": run_neuro_end_to_end(
+                        "spark", subjects, n_nodes=n_nodes, cache_input=cached
+                    ),
+                }
+            )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Ablation: SciDB incremental iterative processing ([34], Section 5.2.4)
+# ----------------------------------------------------------------------
+
+def ablation_scidb_incremental(n_visits=24, profile=None):
+    """Ablation scidb incremental."""
+    profile = profile or ASTRO_BENCH
+    visits = astro_visits(n_visits, **profile)
+    stock = _coadd_once("scidb", visits, incremental=False)
+    incremental = _coadd_once("scidb", visits, incremental=True)
+    return [
+        {"variant": "stock AQL", "simulated_s": stock},
+        {"variant": "incremental [34]", "simulated_s": incremental},
+        {"variant": "speedup", "simulated_s": stock / incremental},
+    ]
+
+
+# ----------------------------------------------------------------------
+# Future-work ablations (Section 6)
+# ----------------------------------------------------------------------
+
+def ablation_tf_format_conversion(n_subjects=4, profile=None):
+    """Section 6, "Data Formats": "An interesting area of future work is
+    to optimize away these format conversions."  Re-runs the TensorFlow
+    mean step with tensor conversion made free, quantifying how much of
+    TF's Figure 12b deficit the conversions explain.
+    """
+    from repro.cluster.costs import CostModel
+    from repro.harness.runner import Stopwatch, fresh_engine
+
+    profile = profile or NEURO_BENCH
+    subjects = neuro_subjects(n_subjects, **profile)
+
+    def run(cost_model):
+        cluster, engine = fresh_engine("tensorflow", cost_model=cost_model)
+        filtered = [neuro_tf.filter_step(engine, s) for s in subjects]
+        watch = Stopwatch(cluster)
+        for f in filtered:
+            neuro_tf.mean_step(engine, f)
+        return watch.lap()
+
+    stock = run(CostModel())
+    no_conversion = run(
+        CostModel().with_overrides(tensor_convert_bandwidth=1e18)
+    )
+    return [
+        {"variant": "stock TensorFlow", "simulated_s": stock},
+        {"variant": "free conversions", "simulated_s": no_conversion},
+        {"variant": "conversion share", "simulated_s": 1 - no_conversion / stock},
+    ]
+
+
+def ablation_spark_self_tuning(profile=None, n_nodes=DEFAULT_NODES):
+    """Section 6, "System Tuning": "none of them performed best with the
+    default settings."  Compares Spark's default (HDFS-block-like)
+    partitioning against the tuned slot count for one subject -- the
+    under-utilization the paper observed when "Spark creates only 4
+    partitions" (Section 5.3.1).
+    """
+    profile = profile or {"scale": NEURO_BENCH["scale"], "n_volumes": 288}
+    subjects = neuro_subjects(1, **profile)
+    default = run_neuro_end_to_end(
+        "spark", subjects, n_nodes=n_nodes,
+        input_partitions=None,  # the HDFS-block default
+        group_partitions=None,
+    )
+    tuned = run_neuro_end_to_end("spark", subjects, n_nodes=n_nodes)
+    return [
+        {"variant": "default partitions", "simulated_s": default},
+        {"variant": "tuned partitions", "simulated_s": tuned},
+        {"variant": "speedup", "simulated_s": default / tuned},
+    ]

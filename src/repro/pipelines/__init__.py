@@ -1,0 +1,12 @@
+"""The two end-to-end use cases (Section 3), on every engine.
+
+- :mod:`repro.pipelines.neuro` -- the diffusion-MRI pipeline:
+  segmentation, denoising, model fitting (Section 3.1.2).
+- :mod:`repro.pipelines.astro` -- the LSST-style pipeline:
+  pre-processing, patch creation, co-addition, source detection
+  (Section 3.2.2).
+
+Each has a single-process ``reference`` implementation (the ground
+truth all engine implementations are tested against) plus one module
+per engine, mirroring the paper's Table 1 implementations.
+"""

@@ -1,0 +1,174 @@
+"""Shared pipeline helpers: cost factories, voxel blocks, staging.
+
+The engines cannot see inside user Python functions, so every UDF that
+the pipelines register carries an explicit cost function expressed over
+*nominal* data sizes (see :mod:`repro.cluster.costs` for the calibrated
+constants).  The helpers here build those costed UDFs consistently so
+all engines price identical work identically -- the precondition for
+the paper's observation that Dask/Myria/Spark "execute the same Python
+code on similarly partitioned data" (Section 5.1).
+"""
+
+import numpy as np
+
+from repro.formats.sizing import SizedArray
+
+
+def masked_fraction(mask):
+    """Fraction of voxels inside a boolean mask (>= a small floor so
+    costs never vanish)."""
+    mask = np.asarray(mask)
+    if mask.size == 0:
+        return 1.0
+    return max(float(mask.mean()), 0.01)
+
+
+# ----------------------------------------------------------------------
+# Neuroscience UDF costs
+# ----------------------------------------------------------------------
+
+def denoise_cost(cost_model, mask_fraction):
+    """Cost of non-local-means denoising one masked volume."""
+    def cost(volume, *rest):
+        return volume.nominal_elements * mask_fraction * cost_model.nlmeans_per_voxel
+    return cost
+
+
+def denoise_cost_unmasked(cost_model):
+    """TensorFlow variant: no masking, every voxel is processed
+    (Section 4.5)."""
+    def cost(volume, *rest):
+        return volume.nominal_elements * cost_model.nlmeans_per_voxel
+    return cost
+
+
+def mean_volume_cost(cost_model):
+    """Mean volume cost."""
+    def cost(*volumes):
+        total = sum(getattr(v, "nominal_elements", np.asarray(v).size) for v in volumes)
+        return total * cost_model.elementwise_per_element
+    return cost
+
+
+def otsu_cost(cost_model):
+    """Otsu cost."""
+    def cost(volume, *rest):
+        elements = getattr(volume, "nominal_elements", np.asarray(volume).size)
+        # Median-filter passes plus the histogram threshold.
+        return elements * (cost_model.otsu_per_voxel + 27 * cost_model.elementwise_per_element)
+    return cost
+
+
+def repart_cost(cost_model):
+    """Flatmap of a volume into voxel blocks: one memory copy."""
+    def cost(volume, *rest):
+        return volume.nominal_bytes * cost_model.memcpy_per_byte
+    return cost
+
+
+def fit_cost(cost_model, mask_fraction):
+    """Cost of fitting the DTM over one voxel block's volume series.
+
+    Priced per voxel-sample: a stacked block of V voxels x S samples
+    costs ``V * S * dtm_fit_per_voxel_sample`` (times mask fraction).
+    """
+    def cost(stacked, *rest):
+        if isinstance(stacked, (list, tuple)):
+            elements = sum(
+                getattr(b, "nominal_elements", np.asarray(b).size) for b in stacked
+            )
+        else:
+            elements = getattr(
+                stacked, "nominal_elements", np.asarray(stacked).size
+            )
+        return elements * mask_fraction * cost_model.dtm_fit_per_voxel_sample
+    return cost
+
+
+# ----------------------------------------------------------------------
+# Astronomy UDF costs
+# ----------------------------------------------------------------------
+
+def preprocess_cost(cost_model):
+    """Preprocess cost."""
+    def cost(exposure, *rest):
+        return _exposure_pixels(exposure) * cost_model.astro_preprocess_per_pixel
+    return cost
+
+
+def patch_map_cost(cost_model):
+    """Patch map cost."""
+    def cost(exposure, *rest):
+        return _exposure_pixels(exposure) * cost_model.astro_patch_per_pixel
+    return cost
+
+
+def stitch_cost(cost_model):
+    """Stitch cost."""
+    def cost(pieces, *rest):
+        total = sum(p.nominal_elements for p in pieces)
+        return total * 8 * cost_model.memcpy_per_byte
+    return cost
+
+
+def coadd_cost(cost_model, n_iter=2):
+    """Coadd cost."""
+    def cost(patches, *rest):
+        total = sum(p.nominal_elements for p in patches)
+        return total * (n_iter + 1) * cost_model.coadd_iteration_per_pixel
+    return cost
+
+
+def detect_cost(cost_model):
+    """Detect cost."""
+    def cost(coadd, *rest):
+        return coadd.nominal_elements * cost_model.source_detect_per_pixel
+    return cost
+
+
+def _exposure_pixels(exposure):
+    nominal = getattr(exposure, "nominal_elements", None)
+    if nominal is not None:
+        return nominal
+    from repro.data.catalog import ASTRO_SENSOR_SHAPE
+
+    return ASTRO_SENSOR_SHAPE[0] * ASTRO_SENSOR_SHAPE[1]
+
+
+# ----------------------------------------------------------------------
+# Voxel blocks (Step 3-N parallel unit)
+# ----------------------------------------------------------------------
+
+def split_volume_blocks(volume, n_blocks):
+    """Split a 3-d :class:`SizedArray` volume along z into blocks.
+
+    Returns ``[(block_id, SizedArray), ...]``; nominal shapes divide the
+    nominal z extent the same way the real split divides the real one.
+    """
+    array = volume.array
+    nz_real = array.shape[0]
+    nz_nominal = volume.nominal_shape[0]
+    n_blocks = min(n_blocks, nz_real)
+    blocks = []
+    bounds_real = np.linspace(0, nz_real, n_blocks + 1).astype(int)
+    bounds_nominal = np.linspace(0, nz_nominal, n_blocks + 1).astype(int)
+    for b in range(n_blocks):
+        real_block = array[bounds_real[b]:bounds_real[b + 1]]
+        nominal = (
+            int(bounds_nominal[b + 1] - bounds_nominal[b]),
+        ) + tuple(volume.nominal_shape[1:])
+        blocks.append(
+            (b, SizedArray(real_block, nominal_shape=nominal, meta=volume.meta))
+        )
+    return blocks
+
+
+def reassemble_blocks(blocks_by_id, nominal_shape=None, meta=None):
+    """Concatenate blocks (ordered by id) back into one volume."""
+    ordered = [blocks_by_id[k] for k in sorted(blocks_by_id)]
+    arrays = [b.array if isinstance(b, SizedArray) else np.asarray(b) for b in ordered]
+    out = np.concatenate(arrays, axis=0)
+    if nominal_shape is None and isinstance(ordered[0], SizedArray):
+        nominal_z = sum(b.nominal_shape[0] for b in ordered)
+        nominal_shape = (nominal_z,) + tuple(ordered[0].nominal_shape[1:])
+    return SizedArray(out, nominal_shape=nominal_shape, meta=meta or {})

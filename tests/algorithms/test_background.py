@@ -1,0 +1,68 @@
+"""Tests for background estimation/subtraction."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.background import (
+    _sigma_clipped_median,
+    estimate_background,
+    subtract_background,
+)
+
+
+def test_flat_background_recovered():
+    img = np.full((64, 64), 12.5)
+    bg = estimate_background(img, box_size=16)
+    assert np.allclose(bg, 12.5, atol=1e-9)
+
+
+def test_gradient_background_tracked(rng):
+    yy, xx = np.mgrid[0:96, 0:96]
+    truth = 10 + 0.05 * yy + 0.02 * xx
+    img = truth + rng.normal(0, 0.1, truth.shape)
+    bg = estimate_background(img, box_size=16)
+    assert np.abs(bg - truth).mean() < 0.5
+
+
+def test_stars_do_not_bias_background(rng):
+    img = np.full((64, 64), 5.0) + rng.normal(0, 0.2, (64, 64))
+    img[20, 20] += 500.0  # a bright star
+    img[40:42, 40:42] += 300.0
+    bg = estimate_background(img, box_size=16)
+    assert np.abs(bg - 5.0).max() < 1.5
+
+
+def test_subtract_background_residual(rng):
+    yy, xx = np.mgrid[0:64, 0:64]
+    img = 5 + 0.03 * yy + rng.normal(0, 0.1, (64, 64))
+    residual, bg = subtract_background(img, box_size=16)
+    assert np.abs(residual.mean()) < 0.2
+    assert residual.shape == img.shape
+
+
+def test_box_size_larger_than_image():
+    img = np.full((16, 16), 2.0)
+    bg = estimate_background(img, box_size=100)
+    assert np.allclose(bg, 2.0)
+
+
+def test_invalid_inputs():
+    with pytest.raises(ValueError):
+        estimate_background(np.zeros(5), box_size=4)
+    with pytest.raises(ValueError):
+        estimate_background(np.zeros((5, 5)), box_size=0)
+
+
+def test_sigma_clipped_median_resists_outliers(rng):
+    values = rng.normal(10, 1, 500)
+    values[:10] = 10_000.0
+    assert _sigma_clipped_median(values) == pytest.approx(10.0, abs=0.5)
+
+
+def test_sigma_clipped_median_empty():
+    assert _sigma_clipped_median(np.array([])) == 0.0
+
+
+def test_sigma_clipped_median_ignores_nan(rng):
+    values = np.concatenate([rng.normal(5, 1, 100), [np.nan] * 10])
+    assert _sigma_clipped_median(values) == pytest.approx(5.0, abs=0.5)

@@ -1,0 +1,74 @@
+"""Tests for sigma-clipped co-addition."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.coadd import coadd_stack, sigma_clip_stack
+
+
+def test_outlier_nulled_with_enough_visits(rng):
+    """With 24 visits (the paper's count) a cosmic-ray-like outlier is
+    beyond 3 sigma and gets nulled.  (With ~6 visits a single outlier
+    mathematically cannot exceed 3 sigma of the sample.)"""
+    stack = np.full((24, 8, 8), 10.0) + rng.normal(0, 0.1, (24, 8, 8))
+    stack[5, 3, 3] = 1000.0
+    clipped = sigma_clip_stack(stack)
+    assert np.isnan(clipped[5, 3, 3])
+    # Only that sample was removed at that pixel.
+    assert np.isnan(clipped[:, 3, 3]).sum() == 1
+
+
+def test_small_stacks_cannot_clip_single_outlier():
+    """The sqrt(n-1) bound: for n <= 9 a lone outlier stays within 3
+    sigma, a real property of the paper's algorithm."""
+    stack = np.full((6, 4, 4), 10.0)
+    stack[2, 1, 1] = 1000.0
+    clipped = sigma_clip_stack(stack)
+    assert not np.isnan(clipped[2, 1, 1])
+
+
+def test_two_iterations_catch_masked_second_outlier(rng):
+    """The second cleaning iteration finds outliers unmasked by the
+    first removal -- why the reference does two passes."""
+    stack = np.full((24, 4, 4), 10.0) + rng.normal(0, 0.05, (24, 4, 4))
+    stack[0, 2, 2] = 5000.0   # huge: inflates sigma
+    stack[1, 2, 2] = 200.0    # hidden behind the first in iteration 1
+    one = sigma_clip_stack(stack.copy(), n_iter=1)
+    two = sigma_clip_stack(stack.copy(), n_iter=2)
+    assert np.isnan(two[0, 2, 2]) and np.isnan(two[1, 2, 2])
+    assert np.isnan(one[:, 2, 2]).sum() <= np.isnan(two[:, 2, 2]).sum()
+
+
+def test_nan_coverage_ignored(rng):
+    stack = np.full((12, 4, 4), 7.0)
+    stack[3] = np.nan  # a visit with no coverage of this patch
+    coadd, counts = coadd_stack(stack)
+    assert np.all(counts == 11)
+    assert np.allclose(coadd, 77.0)
+
+
+def test_coadd_sums_surviving_values():
+    stack = np.stack([np.full((3, 3), float(i)) for i in range(1, 5)])
+    coadd, counts = coadd_stack(stack, n_iter=0)
+    assert np.allclose(coadd, 1 + 2 + 3 + 4)
+    assert np.all(counts == 4)
+
+
+def test_clean_stack_untouched(rng):
+    stack = np.full((10, 5, 5), 3.0) + rng.normal(0, 0.01, (10, 5, 5))
+    clipped = sigma_clip_stack(stack)
+    assert not np.isnan(clipped).any()
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        sigma_clip_stack(np.zeros((4, 4)))
+    with pytest.raises(ValueError):
+        sigma_clip_stack(np.zeros((4, 4, 4)), n_sigma=0)
+
+
+def test_all_nan_pixel():
+    stack = np.full((5, 2, 2), np.nan)
+    coadd, counts = coadd_stack(stack)
+    assert np.all(counts == 0)
+    assert np.allclose(coadd, 0.0)

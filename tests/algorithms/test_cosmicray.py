@@ -1,0 +1,62 @@
+"""Tests for cosmic-ray detection and repair."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.cosmicray import detect_cosmic_rays, repair_cosmic_rays
+
+
+def test_detects_single_pixel_hits(rng):
+    img = rng.normal(0, 1, (48, 48))
+    img[10, 10] = 400.0
+    img[30, 25] = 250.0
+    mask = detect_cosmic_rays(img)
+    assert mask[10, 10]
+    assert mask[30, 25]
+    assert mask.sum() <= 6  # few false positives
+
+
+def test_variance_plane_controls_threshold(rng):
+    img = rng.normal(0, 1, (32, 32))
+    img[5, 5] = 40.0
+    quiet = detect_cosmic_rays(img, variance=np.full(img.shape, 1.0))
+    loud = detect_cosmic_rays(img, variance=np.full(img.shape, 400.0))
+    assert quiet[5, 5]
+    assert not loud[5, 5]
+
+
+def test_extended_sources_not_flagged(rng):
+    """A PSF-wide star is not a cosmic ray."""
+    yy, xx = np.mgrid[0:48, 0:48]
+    star = 80.0 * np.exp(-(((yy - 24) ** 2 + (xx - 24) ** 2) / (2 * 4.0 ** 2)))
+    img = star + rng.normal(0, 0.5, star.shape)
+    mask = detect_cosmic_rays(img, radius=3)
+    # The star's broad core survives.
+    assert not mask[24, 24]
+
+
+def test_repair_restores_neighborhood(rng):
+    img = rng.normal(10, 0.5, (32, 32))
+    img[8, 8] = 900.0
+    mask = detect_cosmic_rays(img)
+    repaired = repair_cosmic_rays(img, mask)
+    assert abs(repaired[8, 8] - 10.0) < 2.0
+    # Unflagged pixels untouched.
+    assert np.array_equal(repaired[~mask], img[~mask])
+
+
+def test_repair_noop_without_hits(rng):
+    img = rng.normal(0, 1, (16, 16))
+    mask = np.zeros_like(img, dtype=bool)
+    repaired = repair_cosmic_rays(img, mask)
+    assert np.array_equal(repaired, img)
+    assert repaired is not img
+
+
+def test_shape_validation():
+    with pytest.raises(ValueError):
+        detect_cosmic_rays(np.zeros(10))
+    with pytest.raises(ValueError):
+        detect_cosmic_rays(np.zeros((4, 4)), variance=np.zeros((5, 5)))
+    with pytest.raises(ValueError):
+        repair_cosmic_rays(np.zeros((4, 4)), np.zeros((5, 5), dtype=bool))

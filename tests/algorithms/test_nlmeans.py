@@ -1,0 +1,76 @@
+"""Tests for non-local means denoising."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.nlmeans import _box_sum_3d, nlmeans_3d
+
+
+def test_box_sum_matches_naive(rng):
+    v = rng.random((6, 7, 8))
+    width = 3
+    out = _box_sum_3d(v, width)
+    assert out.shape == (4, 5, 6)
+    naive = v[:3, :3, :3].sum()
+    assert out[0, 0, 0] == pytest.approx(naive)
+    naive2 = v[2:5, 3:6, 4:7].sum()
+    assert out[2, 3, 4] == pytest.approx(naive2)
+
+
+def test_denoising_reduces_error(rng):
+    clean = np.zeros((12, 12, 12))
+    clean[4:8, 4:8, 4:8] = 10.0
+    noisy = clean + rng.normal(0, 1.0, clean.shape)
+    denoised = nlmeans_3d(noisy, sigma=1.0)
+    assert np.abs(denoised - clean).mean() < 0.5 * np.abs(noisy - clean).mean()
+
+
+def test_constant_volume_unchanged():
+    v = np.full((8, 8, 8), 5.0)
+    assert np.allclose(nlmeans_3d(v, sigma=1.0), 5.0)
+
+
+def test_mask_passthrough_outside(rng):
+    noisy = rng.normal(10, 1, (10, 10, 10))
+    mask = np.zeros((10, 10, 10), dtype=bool)
+    mask[3:7, 3:7, 3:7] = True
+    out = nlmeans_3d(noisy, sigma=1.0, mask=mask)
+    # Outside the mask the volume is untouched.
+    assert np.array_equal(out[~mask], noisy[~mask])
+    # Inside it changed (denoised).
+    assert not np.allclose(out[mask], noisy[mask])
+
+
+def test_output_shape_matches(rng):
+    v = rng.random((9, 10, 11))
+    assert nlmeans_3d(v, sigma=0.5).shape == v.shape
+
+
+def test_larger_search_window_smooths_more(rng):
+    clean = np.zeros((10, 10, 10))
+    noisy = clean + rng.normal(0, 1.0, clean.shape)
+    small = nlmeans_3d(noisy, sigma=1.0, block_radius=1)
+    large = nlmeans_3d(noisy, sigma=1.0, block_radius=3)
+    assert np.abs(large).mean() <= np.abs(small).mean() + 1e-9
+
+
+def test_invalid_inputs():
+    with pytest.raises(ValueError):
+        nlmeans_3d(np.zeros((4, 4)), sigma=1.0)
+    with pytest.raises(ValueError):
+        nlmeans_3d(np.zeros((4, 4, 4)), sigma=0.0)
+    with pytest.raises(ValueError):
+        nlmeans_3d(
+            np.zeros((4, 4, 4)), sigma=1.0, mask=np.zeros((3, 3, 3), dtype=bool)
+        )
+
+
+def test_weights_favor_similar_patches(rng):
+    """A bright structure should not bleed into a dark region."""
+    v = np.zeros((12, 12, 12))
+    v[:, :6, :] = 0.0
+    v[:, 6:, :] = 100.0
+    v += rng.normal(0, 0.5, v.shape)
+    out = nlmeans_3d(v, sigma=0.5)
+    assert out[:, :4, :].mean() < 5.0
+    assert out[:, 8:, :].mean() > 95.0

@@ -1,0 +1,86 @@
+"""Tests for Otsu thresholding and median-Otsu masking."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.otsu import median_otsu, otsu_threshold
+
+
+def test_bimodal_separation(rng):
+    """Otsu separates the two modes nearly perfectly.
+
+    Note the threshold itself may sit just past the low mode (the
+    inter-class variance is nearly flat across the empty gap), so the
+    check is on classification accuracy, not the threshold's position.
+    """
+    low = rng.normal(10, 1, 500)
+    high = rng.normal(100, 5, 500)
+    threshold = otsu_threshold(np.concatenate([low, high]))
+    accuracy = ((low <= threshold).mean() + (high > threshold).mean()) / 2
+    assert accuracy > 0.99
+    assert 10 < threshold < 100
+
+
+def test_threshold_between_min_and_max(rng):
+    values = rng.random(1000) * 7 + 3
+    t = otsu_threshold(values)
+    assert 3 <= t <= 10
+
+
+def test_shift_invariance(rng):
+    values = np.concatenate([rng.normal(0, 1, 300), rng.normal(10, 1, 300)])
+    t1 = otsu_threshold(values)
+    t2 = otsu_threshold(values + 50)
+    assert t2 == pytest.approx(t1 + 50, abs=0.2)
+
+
+def test_constant_input_rejected():
+    with pytest.raises(ValueError):
+        otsu_threshold(np.full(100, 3.0))
+
+
+def test_empty_input_rejected():
+    with pytest.raises(ValueError):
+        otsu_threshold(np.array([]))
+
+
+def test_nan_values_ignored(rng):
+    values = np.concatenate([rng.normal(0, 1, 300), rng.normal(10, 1, 300)])
+    with_nans = np.concatenate([values, [np.nan] * 50])
+    assert otsu_threshold(with_nans) == pytest.approx(
+        otsu_threshold(values), abs=0.3
+    )
+
+
+def test_median_otsu_finds_bright_blob(rng):
+    volume = rng.normal(5, 1, (16, 16, 16))
+    volume[4:12, 4:12, 4:12] = rng.normal(60, 2, (8, 8, 8))
+    masked, mask = median_otsu(volume, median_radius=1)
+    # Mask covers the blob interior and excludes the far background.
+    assert mask[8, 8, 8]
+    assert not mask[0, 0, 0]
+    # Background is zeroed in the masked volume.
+    assert masked[0, 0, 0] == 0.0
+    assert masked[8, 8, 8] != 0.0
+
+
+def test_median_otsu_mask_is_boolean(rng):
+    volume = rng.normal(5, 1, (10, 10, 10))
+    volume[3:7, 3:7, 3:7] = 50
+    _masked, mask = median_otsu(volume, median_radius=1)
+    assert mask.dtype == bool
+
+
+def test_median_otsu_multiple_passes(rng):
+    volume = rng.normal(5, 1, (12, 12, 12))
+    volume[3:9, 3:9, 3:9] = 50
+    _m1, mask1 = median_otsu(volume, median_radius=1, numpass=1)
+    _m2, mask2 = median_otsu(volume, median_radius=1, numpass=2)
+    # More smoothing cannot create wildly different masks here.
+    overlap = (mask1 & mask2).sum() / max(1, mask1.sum())
+    assert overlap > 0.8
+
+
+def test_median_otsu_rejects_2d():
+    with pytest.raises(ValueError):
+        median_otsu(np.zeros((4, 4)))

@@ -1,0 +1,124 @@
+"""Tests for stencil primitives."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.stencil import (
+    convolve3d,
+    local_mean_and_std,
+    median_filter_2d,
+    median_filter_3d,
+    sliding_windows,
+    uniform_filter_2d,
+)
+
+
+def test_sliding_windows_shape(rng):
+    v = rng.random((5, 6, 7))
+    w = sliding_windows(v, radius=1)
+    assert w.shape == (5, 6, 7, 3, 3, 3)
+
+
+def test_sliding_windows_center_matches(rng):
+    v = rng.random((5, 5, 5))
+    w = sliding_windows(v, radius=1)
+    assert np.allclose(w[2, 2, 2, 1, 1, 1], v[2, 2, 2])
+
+
+def test_median_filter_removes_impulse():
+    v = np.zeros((7, 7, 7))
+    v[3, 3, 3] = 100.0
+    out = median_filter_3d(v, radius=1)
+    assert out[3, 3, 3] == 0.0
+
+
+def test_median_filter_preserves_constant():
+    v = np.full((6, 6, 6), 4.0)
+    assert np.array_equal(median_filter_3d(v, radius=1), v)
+
+
+def test_median_filter_radius_zero_is_copy(rng):
+    v = rng.random((4, 4, 4))
+    out = median_filter_3d(v, radius=0)
+    assert np.array_equal(out, v)
+    assert out is not v
+
+
+def test_median_filter_2d_impulse():
+    img = np.zeros((9, 9))
+    img[4, 4] = 50.0
+    assert median_filter_2d(img, radius=1)[4, 4] == 0.0
+
+
+def test_uniform_filter_constant(rng):
+    img = np.full((8, 8), 3.0)
+    assert np.allclose(uniform_filter_2d(img, radius=2), 3.0)
+
+
+def test_uniform_filter_is_window_mean():
+    img = np.arange(25, dtype=float).reshape(5, 5)
+    out = uniform_filter_2d(img, radius=1)
+    assert out[2, 2] == pytest.approx(img[1:4, 1:4].mean())
+
+
+def test_convolve3d_identity_kernel(rng):
+    v = rng.random((6, 6, 6))
+    kernel = np.zeros((3, 3, 3))
+    kernel[1, 1, 1] = 1.0
+    assert np.allclose(convolve3d(v, kernel), v)
+
+
+def test_convolve3d_sum_kernel_counts_neighbors():
+    v = np.ones((5, 5, 5))
+    kernel = np.ones((3, 3, 3))
+    out = convolve3d(v, kernel)
+    # Reflect padding keeps the full neighborhood sum everywhere.
+    assert np.allclose(out, 27.0)
+
+
+def test_convolve3d_flips_kernel():
+    v = np.zeros((5, 5, 5))
+    v[2, 2, 2] = 1.0
+    kernel = np.zeros((3, 3, 3))
+    kernel[0, 1, 1] = 1.0  # offset -1 from center along axis 0
+    out = convolve3d(v, kernel)
+    # Convolution (kernel flipped): the impulse shifts by -1 along
+    # axis 0, matching scipy.ndimage.convolve semantics.
+    assert out[1, 2, 2] == pytest.approx(1.0)
+    assert out[3, 2, 2] == pytest.approx(0.0)
+
+
+def test_convolve3d_matches_scipy(rng):
+    scipy_ndimage = pytest.importorskip("scipy.ndimage")
+    v = rng.random((6, 7, 8))
+    kernel = rng.random((3, 3, 3))
+    ours = convolve3d(v, kernel)
+    # np.pad "reflect" (no edge duplication) is scipy's "mirror" mode.
+    theirs = scipy_ndimage.convolve(v, kernel, mode="mirror")
+    assert np.allclose(ours, theirs)
+
+
+def test_convolve3d_rejects_even_kernel(rng):
+    with pytest.raises(ValueError):
+        convolve3d(rng.random((4, 4, 4)), np.ones((2, 3, 3)))
+
+
+def test_dim_checks():
+    with pytest.raises(ValueError):
+        median_filter_3d(np.zeros((4, 4)))
+    with pytest.raises(ValueError):
+        median_filter_2d(np.zeros((4, 4, 4)))
+    with pytest.raises(ValueError):
+        uniform_filter_2d(np.zeros(4))
+    with pytest.raises(ValueError):
+        sliding_windows(np.zeros((4, 4)), radius=-1)
+
+
+def test_local_mean_and_std(rng):
+    img = rng.random((10, 10))
+    mean, std = local_mean_and_std(img, radius=1)
+    assert mean.shape == img.shape
+    assert np.all(std >= 0)
+    flat = np.full((6, 6), 2.0)
+    _m, s = local_mean_and_std(flat, radius=1)
+    assert np.allclose(s, 0.0)

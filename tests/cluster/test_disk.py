@@ -1,0 +1,64 @@
+"""Tests for the per-node disk model."""
+
+import pytest
+
+from repro.cluster.disk import LocalDisk
+from repro.cluster.errors import DiskFullError
+
+
+@pytest.fixture
+def disk():
+    return LocalDisk("node-0", capacity_bytes=1000)
+
+
+def test_write_read_roundtrip(disk):
+    disk.write("a/b", {"k": 1}, 100)
+    assert disk.read("a/b") == {"k": 1}
+    assert disk.used_bytes == 100
+
+
+def test_overwrite_releases_old_space(disk):
+    disk.write("f", "v1", 800)
+    disk.write("f", "v2", 900)  # would not fit without release
+    assert disk.read("f") == "v2"
+    assert disk.used_bytes == 900
+
+
+def test_disk_full(disk):
+    disk.write("a", None, 900)
+    with pytest.raises(DiskFullError):
+        disk.write("b", None, 200)
+
+
+def test_delete(disk):
+    disk.write("x", 1, 50)
+    disk.delete("x")
+    assert not disk.exists("x")
+    with pytest.raises(KeyError):
+        disk.delete("x")
+
+
+def test_list_with_prefix(disk):
+    disk.write("t/a", 1, 1)
+    disk.write("t/b", 2, 1)
+    disk.write("u/c", 3, 1)
+    assert disk.list("t/") == ["t/a", "t/b"]
+    assert disk.list() == ["t/a", "t/b", "u/c"]
+
+
+def test_io_statistics(disk):
+    disk.write("a", 1, 100)
+    disk.read("a")
+    disk.read("a")
+    assert disk.bytes_written == 100
+    assert disk.bytes_read == 200
+
+
+def test_size_of(disk):
+    disk.write("a", 1, 123)
+    assert disk.size_of("a") == 123
+
+
+def test_negative_write_rejected(disk):
+    with pytest.raises(ValueError):
+        disk.write("a", 1, -5)

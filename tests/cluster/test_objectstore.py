@@ -1,0 +1,65 @@
+"""Tests for the S3-like object store."""
+
+import pytest
+
+from repro.cluster.objectstore import ObjectStore
+
+
+@pytest.fixture
+def store():
+    s = ObjectStore()
+    s.put("bucket", "k1", b"one", 3)
+    s.put("bucket", "k2", b"two", 3)
+    s.put("other", "k1", b"xxx", 3)
+    return s
+
+
+def test_get(store):
+    assert store.get("bucket", "k1") == b"one"
+
+
+def test_missing_key_raises(store):
+    with pytest.raises(KeyError):
+        store.get("bucket", "nope")
+
+
+def test_list_keys_scoped_to_bucket(store):
+    assert store.list_keys("bucket") == ["k1", "k2"]
+    assert store.list_keys("other") == ["k1"]
+
+
+def test_list_keys_prefix(store):
+    store.put("bucket", "sub/a", 1, 1)
+    store.put("bucket", "sub/b", 1, 1)
+    assert store.list_keys("bucket", prefix="sub/") == ["sub/a", "sub/b"]
+
+
+def test_total_bytes(store):
+    assert store.total_bytes("bucket") == 6
+
+
+def test_size_of(store):
+    assert store.size_of("bucket", "k1") == 3
+
+
+def test_delete(store):
+    store.delete("bucket", "k1")
+    assert not store.exists("bucket", "k1")
+
+
+def test_overwrite(store):
+    store.put("bucket", "k1", b"new", 3)
+    assert store.get("bucket", "k1") == b"new"
+    assert len(store) == 3
+
+
+def test_empty_bucket_or_key_rejected(store):
+    with pytest.raises(ValueError):
+        store.put("", "k", 1, 1)
+    with pytest.raises(ValueError):
+        store.put("b", "", 1, 1)
+
+
+def test_negative_size_rejected(store):
+    with pytest.raises(ValueError):
+        store.put("b", "k", 1, -1)

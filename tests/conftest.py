@@ -1,0 +1,46 @@
+"""Shared test fixtures: small deterministic datasets and clusters."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterSpec, SimulatedCluster
+from repro.data import generate_subject, generate_visit
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def small_cluster():
+    """A 4-node cluster with the default (Spark/Dask-style) shape."""
+    return SimulatedCluster(ClusterSpec(n_nodes=4))
+
+
+@pytest.fixture
+def worker_cluster():
+    """A 4-node cluster shaped for Myria/SciDB (4 single-slot workers)."""
+    return SimulatedCluster(
+        ClusterSpec(n_nodes=4, workers_per_node=4, slots_per_worker=1)
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_subject():
+    """One small subject shared by read-only tests."""
+    return generate_subject("tiny", scale=12, n_volumes=24)
+
+
+@pytest.fixture(scope="session")
+def tiny_subjects():
+    """Two small subjects shared by read-only tests."""
+    return [
+        generate_subject(f"sub{i}", scale=12, n_volumes=24) for i in range(2)
+    ]
+
+
+@pytest.fixture(scope="session")
+def tiny_visits():
+    """A handful of small visits shared by read-only tests."""
+    return [generate_visit(v, scale=80, n_sensors=6) for v in range(4)]

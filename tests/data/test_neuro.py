@@ -1,0 +1,102 @@
+"""Tests for the synthetic dMRI subject generator."""
+
+import numpy as np
+import pytest
+
+from repro.data.catalog import NEURO_N_VOLUMES, NEURO_VOLUME_SHAPE
+from repro.data.neuro import generate_subject, make_gradient_table
+from repro.formats.nifti import nifti_bytes, read_nifti
+import io
+
+
+def test_deterministic_by_id():
+    a = generate_subject("s1", scale=12, n_volumes=24)
+    b = generate_subject("s1", scale=12, n_volumes=24)
+    assert np.array_equal(a.data.array, b.data.array)
+
+
+def test_distinct_subjects_differ():
+    a = generate_subject("s1", scale=12, n_volumes=24)
+    b = generate_subject("s2", scale=12, n_volumes=24)
+    assert not np.array_equal(a.data.array, b.data.array)
+
+
+def test_nominal_shape_is_paper_scale(tiny_subject):
+    assert tiny_subject.data.nominal_shape == NEURO_VOLUME_SHAPE + (
+        NEURO_N_VOLUMES,
+    )
+
+
+def test_volume_bundling(tiny_subject):
+    """24 real volumes stand in for 288: bundle = 12, and the volume
+    records' nominal bytes sum to the full subject."""
+    assert tiny_subject.bundle == 12
+    total = sum(
+        tiny_subject.volume(i).nominal_bytes
+        for i in range(tiny_subject.n_volumes)
+    )
+    assert total == tiny_subject.nominal_bytes
+
+
+def test_volume_metadata(tiny_subject):
+    vol = tiny_subject.volume(3)
+    assert vol.meta["subject_id"] == "tiny"
+    assert vol.meta["image_id"] == 3
+
+
+def test_brain_signal_above_background(tiny_subject):
+    data = tiny_subject.data.array
+    brain = tiny_subject.brain_mask_truth
+    b0 = data[..., tiny_subject.gtab.b0s_mask].mean(axis=-1)
+    assert b0[brain].mean() > 5 * b0[~brain].mean()
+
+
+def test_diffusion_attenuates_signal(tiny_subject):
+    """Diffusion-weighted volumes are dimmer than b0 inside the brain."""
+    data = tiny_subject.data.array
+    brain = tiny_subject.brain_mask_truth
+    gtab = tiny_subject.gtab
+    b0_mean = data[..., gtab.b0s_mask][brain].mean()
+    dw_mean = data[..., ~gtab.b0s_mask][brain].mean()
+    assert dw_mean < 0.8 * b0_mean
+
+
+def test_signals_non_negative(tiny_subject):
+    assert tiny_subject.data.array.min() >= 0.0
+
+
+def test_to_nifti_roundtrip(tiny_subject):
+    img = tiny_subject.to_nifti()
+    back = read_nifti(io.BytesIO(nifti_bytes(img)))
+    assert np.array_equal(back.data, tiny_subject.data.array)
+    assert back.pixdim[:3] == (1.25, 1.25, 1.25)
+
+
+def test_gradient_table_b0_fraction():
+    gtab = make_gradient_table(n_volumes=288)
+    assert gtab.b0s_mask.sum() == 18  # the paper's 18 of 288
+
+
+def test_gradient_table_small_counts():
+    gtab = make_gradient_table(n_volumes=24)
+    assert 2 <= gtab.b0s_mask.sum() <= 3
+    assert len(gtab) == 24
+
+
+def test_gradient_table_validation():
+    with pytest.raises(ValueError):
+        make_gradient_table(n_volumes=5)
+
+
+def test_gradient_directions_spread():
+    """Fibonacci-spiral directions cover both hemispheres."""
+    gtab = make_gradient_table(n_volumes=60)
+    dw = gtab.bvecs[~gtab.b0s_mask]
+    assert dw[:, 2].max() > 0.5
+    assert dw[:, 2].min() < -0.5
+    assert np.allclose(np.linalg.norm(dw, axis=1), 1.0, atol=1e-9)
+
+
+def test_scale_validation():
+    with pytest.raises(ValueError):
+        generate_subject("s", scale=0)

@@ -1,0 +1,95 @@
+"""Tests for shared engine abstractions."""
+
+import numpy as np
+import pytest
+
+from repro.engines.base import (
+    SMALL_RECORD_BYTES,
+    CostedFunction,
+    as_costed,
+    nominal_bytes_of,
+    udf,
+)
+from repro.formats.sizing import SizedArray
+
+
+def test_nominal_bytes_sized_array():
+    a = SizedArray(np.zeros((2, 2), dtype=np.float32), nominal_shape=(10, 10))
+    assert nominal_bytes_of(a) == 400
+
+
+def test_nominal_bytes_object_with_attribute():
+    class Thing:
+        nominal_bytes = 1234
+
+    assert nominal_bytes_of(Thing()) == 1234
+
+
+def test_nominal_bytes_ndarray_uses_real_size():
+    assert nominal_bytes_of(np.zeros(10, dtype=np.float64)) == 80
+
+
+def test_nominal_bytes_containers():
+    a = SizedArray(np.zeros(1, dtype=np.float64), nominal_shape=(10,))
+    assert nominal_bytes_of([a, a]) == 160
+    assert nominal_bytes_of(("key", a)) == 3 + 80
+    assert nominal_bytes_of({"x": a}) == 80
+
+
+def test_nominal_bytes_scalar_fallback():
+    assert nominal_bytes_of(42) == SMALL_RECORD_BYTES
+    assert nominal_bytes_of(None) == SMALL_RECORD_BYTES
+
+
+def test_costed_function_call_and_cost():
+    fn = CostedFunction(lambda x: x + 1, cost_fn=lambda x: x * 0.5)
+    assert fn(4) == 5
+    assert fn.cost(4) == 2.0
+
+
+def test_costed_function_default_cost_zero():
+    fn = CostedFunction(lambda x: x)
+    assert fn.cost(10) == 0.0
+
+
+def test_udf_decorator_form():
+    @udf(cost=lambda x: 1.0)
+    def double(x):
+        return 2 * x
+
+    assert isinstance(double, CostedFunction)
+    assert double(3) == 6
+    assert double.cost(3) == 1.0
+
+
+def test_udf_idempotent():
+    fn = udf(lambda x: x)
+    assert udf(fn) is fn
+
+
+def test_as_costed_wraps_plain_callable():
+    fn = as_costed(len)
+    assert fn("abc") == 3
+    assert fn.cost("abc") == 0.0
+
+
+def test_costed_function_validation():
+    with pytest.raises(TypeError):
+        CostedFunction(42)
+    with pytest.raises(TypeError):
+        CostedFunction(lambda: None, cost_fn=42)
+
+
+def test_engine_startup_charged_once(small_cluster):
+    from repro.engines.base import Engine
+
+    class Fake(Engine):
+        name = "fake"
+
+        def startup_cost(self):
+            return 7.0
+
+    engine = Fake(small_cluster)
+    engine.ensure_started()
+    engine.ensure_started()
+    assert small_cluster.now == 7.0

@@ -1,0 +1,156 @@
+"""Tests for miniDask."""
+
+import numpy as np
+import pytest
+
+from repro.engines.dask import DaskClient
+from repro.formats.sizing import SizedArray
+
+
+@pytest.fixture
+def client(small_cluster):
+    return DaskClient(small_cluster)
+
+
+def test_delayed_result(client):
+    node = client.delayed(lambda a, b: a + b)(2, 3)
+    assert node.result() == 5
+
+
+def test_graph_composition(client):
+    inc = client.delayed(lambda x: x + 1)
+    add = client.delayed(lambda a, b: a + b)
+    total = add(inc(1), inc(10))
+    assert total.result() == 13
+
+
+def test_kwargs_resolved(client):
+    fn = client.delayed(lambda x, y=0: x + y)
+    inner = client.delayed(lambda: 5)()
+    assert fn(1, y=inner).result() == 6
+
+
+def test_shared_dependency_computed_once(client):
+    calls = []
+
+    def source():
+        calls.append(1)
+        return 1
+
+    src = client.delayed(source)()
+    a = client.delayed(lambda x: x + 1)(src)
+    b = client.delayed(lambda x: x + 2)(src)
+    assert client.compute([a, b]) == [2, 3]
+    assert len(calls) == 1
+
+
+def test_barrier_caches_results(client):
+    node = client.delayed(lambda: 42)()
+    node.result()
+    t1 = client.cluster.now
+    node.result()  # no recompute, no time
+    assert client.cluster.now == t1
+
+
+def test_startup_charged_at_first_barrier(client):
+    cm = client.cost_model
+    client.delayed(lambda: 1)().result()
+    assert client.cluster.now >= cm.dask_job_startup
+
+
+def test_worker_pinning(client):
+    node = client.delayed(lambda: "x", workers="node-3")()
+    node.result()
+    assert client.node_of(node) == "node-3"
+
+
+def test_locality_prefers_data_node(client):
+    big = SizedArray(np.zeros(4), nominal_shape=(10 ** 8,))
+    producer = client.delayed(lambda: big, workers="node-2")()
+    consumer = client.delayed(lambda v: v)(producer)
+    client.compute([consumer])
+    assert client.node_of(consumer) == "node-2"
+
+
+def test_work_stealing_spreads_load(client):
+    """Many tasks whose inputs sit on one node get stolen elsewhere."""
+    data = client.delayed(lambda: 1, workers="node-0")()
+    data.result()
+    slow = client.delayed(lambda v, i: i, cost=lambda v, i: 1.0)
+    tasks = [slow(data, i) for i in range(64)]
+    t0 = client.cluster.now
+    client.compute(tasks)
+    elapsed = client.cluster.now - t0
+    assert client.steal_count > 0
+    # With stealing, far faster than 64 serial-ish waves on one node.
+    assert elapsed < 40.0
+
+
+def test_dispatch_serialization_grows_with_tasks(client):
+    quick = client.delayed(lambda i: i)
+    many = [quick(i) for i in range(200)]
+    t0 = client.cluster.now
+    client.compute(many)
+    elapsed = client.cluster.now - t0
+    cm = client.cost_model
+    assert elapsed >= 199 * cm.dask_task_overhead * 0.9
+
+
+def test_results_stay_resident_until_release(client):
+    big = SizedArray(np.zeros(8), nominal_shape=(10 ** 9,))
+    node = client.delayed(lambda: big)()
+    node.result()
+    held = sum(n.memory.used_bytes for n in client.cluster.nodes.values())
+    assert held >= 8 * 10 ** 9  # float64 nominal bytes
+    client.release([node])
+    held_after = sum(n.memory.used_bytes for n in client.cluster.nodes.values())
+    assert held_after == 0
+
+
+def test_costed_functions_charge_time(client):
+    client.ensure_started()
+    t0 = client.cluster.now
+    client.delayed(lambda: 1, cost=lambda: 9.0)().result()
+    assert client.cluster.now - t0 >= 9.0
+
+
+def test_failure_propagates(client):
+    from repro.cluster.errors import TaskFailedError
+
+    def boom():
+        raise ValueError("nope")
+
+    with pytest.raises(TaskFailedError):
+        client.delayed(boom)().result()
+
+
+def test_map_fan_out(client):
+    results = client.compute(client.map(lambda a, b: a + b, [1, 2, 3], [10, 20, 30]))
+    assert results == [11, 22, 33]
+
+
+def test_scatter_places_round_robin(client):
+    values = [SizedArray(np.zeros(2), nominal_shape=(10 ** 6,)) for _i in range(6)]
+    handles = client.scatter(values)
+    nodes = {client.node_of(h) for h in handles}
+    assert len(nodes) == 4  # spread over all 4 nodes
+
+
+def test_scatter_values_usable_in_graphs(client):
+    (handle,) = client.scatter([21])
+    doubled = client.delayed(lambda x: x * 2)(handle)
+    assert doubled.result() == 42
+
+
+def test_scatter_pins_to_worker(client):
+    (handle,) = client.scatter(["x"], workers="node-1")
+    assert client.node_of(handle) == "node-1"
+
+
+def test_scatter_consumes_memory_until_release(client):
+    big = SizedArray(np.zeros(2), nominal_shape=(10 ** 9,))
+    (handle,) = client.scatter([big])
+    held = sum(n.memory.used_bytes for n in client.cluster.nodes.values())
+    assert held >= 8 * 10 ** 9
+    client.release([handle])
+    assert sum(n.memory.used_bytes for n in client.cluster.nodes.values()) == 0

@@ -1,0 +1,144 @@
+"""Unit tests for Myria's row-level operator helpers."""
+
+import pytest
+
+from repro.engines.base import udf
+from repro.engines.myria.myrial import Column, Condition, Literal, UdfCall
+from repro.engines.myria.operators import (
+    RowContext,
+    build_column_map,
+    check_condition,
+    evaluate,
+    expression_cost,
+    group_rows,
+    hash_join,
+    rows_bytes,
+    shard_by_key,
+    split_conditions,
+)
+
+
+@pytest.fixture
+def refs():
+    return build_column_map("T", ("id", "name", "score"))
+
+
+def test_row_context_qualified(refs):
+    ctx = RowContext(refs, (7, "x", 3.5))
+    assert ctx.value(Column("T", "id")) == 7
+    assert ctx.value(Column("T", "score")) == 3.5
+
+
+def test_row_context_unqualified(refs):
+    ctx = RowContext(refs, (7, "x", 3.5))
+    assert ctx.value(Column("", "name")) == "x"
+
+
+def test_row_context_unknown_column(refs):
+    ctx = RowContext(refs, (7, "x", 3.5))
+    with pytest.raises(KeyError):
+        ctx.value(Column("T", "nope"))
+
+
+def test_row_context_resolves_unique_name_across_aliases():
+    refs = build_column_map("A", ("id", "x"))
+    refs.update({("B", "y"): 2})
+    ctx = RowContext(refs, (1, 2, 3))
+    assert ctx.value(Column("", "y")) == 3
+
+
+def test_evaluate_literal_and_udf(refs):
+    ctx = RowContext(refs, (7, "x", 3.5))
+    assert evaluate(Literal(42), ctx, {}) == 42
+    call = UdfCall("PYUDF", "Add", [Column("T", "id"), Literal(3)])
+    udfs = {"Add": udf(lambda a, b: a + b)}
+    assert evaluate(call, ctx, udfs) == 10
+
+
+def test_expression_cost_only_charges_udfs(refs):
+    ctx = RowContext(refs, (7, "x", 3.5))
+    assert expression_cost(Column("T", "id"), ctx, {}) == 0.0
+    call = UdfCall("PYUDF", "Heavy", [Column("T", "id")])
+    udfs = {"Heavy": udf(lambda a: a, cost=lambda a: 2.5)}
+    assert expression_cost(call, ctx, udfs) == 2.5
+
+
+def test_nested_udf_cost_sums(refs):
+    ctx = RowContext(refs, (7, "x", 3.5))
+    inner = UdfCall("PYUDF", "F", [Column("T", "id")])
+    outer = UdfCall("PYUDF", "G", [inner])
+    udfs = {
+        "F": udf(lambda a: a, cost=lambda a: 1.0),
+        "G": udf(lambda a: a, cost=lambda a: 2.0),
+    }
+    assert expression_cost(outer, ctx, udfs) == 3.0
+
+
+def test_check_condition_comparators(refs):
+    ctx = RowContext(refs, (7, "x", 3.5))
+    assert check_condition(
+        Condition(Column("T", "id"), ">", Literal(5)), ctx, {}
+    )
+    assert not check_condition(
+        Condition(Column("T", "id"), "<=", Literal(5)), ctx, {}
+    )
+    assert check_condition(
+        Condition(Column("T", "name"), "=", Literal("x")), ctx, {}
+    )
+
+
+def test_split_conditions():
+    join = Condition(Column("A", "k"), "=", Column("B", "k"))
+    select = Condition(Column("A", "v"), ">", Literal(3))
+    same_alias = Condition(Column("A", "v"), "=", Column("A", "w"))
+    joins, selections = split_conditions([join, select, same_alias])
+    assert joins == [join]
+    assert selections == [select, same_alias]
+
+
+def test_non_equi_join_rejected():
+    bad = Condition(Column("A", "k"), "<", Column("B", "k"))
+    with pytest.raises(ValueError):
+        split_conditions([bad])
+
+
+def test_hash_join_matches_nested_loops():
+    left_refs = build_column_map("A", ("k", "x"))
+    right_refs = build_column_map("B", ("k", "y"))
+    left = [(1, "a"), (2, "b"), (2, "c")]
+    right = [(2, 20), (3, 30), (2, 21)]
+    conditions = [Condition(Column("A", "k"), "=", Column("B", "k"))]
+    out = hash_join(left, left_refs, right, right_refs, conditions, {})
+    expected = {
+        (2, "b", 2, 20), (2, "b", 2, 21),
+        (2, "c", 2, 20), (2, "c", 2, 21),
+    }
+    assert set(out) == expected
+
+
+def test_group_rows_preserves_order():
+    rows = [(1, "a"), (2, "b"), (1, "c")]
+    groups = group_rows(rows, [0])
+    assert groups[(1,)] == [(1, "a"), (1, "c")]
+    assert list(groups) == [(1,), (2,)]
+
+
+def test_shard_by_key_conserves_rows():
+    rows = [(i % 5, i) for i in range(40)]
+    shards = shard_by_key(rows, [0], 8)
+    assert sum(len(s) for s in shards) == 40
+    # Same key always lands on the same shard.
+    for key in range(5):
+        owners = {
+            w for w, shard in enumerate(shards) for r in shard if r[0] == key
+        }
+        assert len(owners) == 1
+
+
+def test_rows_bytes_sums_nominal():
+    import numpy as np
+
+    from repro.formats.sizing import SizedArray
+
+    blob = SizedArray(np.zeros(1, dtype=np.float64), nominal_shape=(100,))
+    assert rows_bytes([(1, blob)]) == 64 + 800

@@ -1,0 +1,168 @@
+"""Tests for the MyriaL parser."""
+
+import pytest
+
+from repro.engines.myria.myrial import (
+    Assign,
+    Column,
+    Condition,
+    Emit,
+    Literal,
+    MyriaLSyntaxError,
+    Query,
+    Scan,
+    Store,
+    UdfCall,
+    Unnest,
+    parse,
+    tokenize,
+)
+
+
+def test_tokenize_keywords_case_insensitive():
+    tokens = tokenize("select FROM Scan where")
+    assert [t.kind for t in tokens] == ["keyword"] * 4
+    assert [t.value for t in tokens] == ["SELECT", "FROM", "SCAN", "WHERE"]
+
+
+def test_tokenize_comments_skipped():
+    tokens = tokenize("T1 = SCAN(Images); -- a comment\nX = SCAN(Y);")
+    assert all(t.kind != "comment" for t in tokens)
+
+
+def test_tokenize_rejects_garbage():
+    with pytest.raises(MyriaLSyntaxError):
+        tokenize("T1 = $bad")
+
+
+def test_parse_scan_assignment():
+    program = parse("T1 = SCAN(Images);")
+    (stmt,) = program.statements
+    assert isinstance(stmt, Assign)
+    assert stmt.name == "T1"
+    assert isinstance(stmt.source, Scan)
+    assert stmt.source.table == "Images"
+
+
+def test_parse_store():
+    program = parse("STORE(Fitted, Results);")
+    (stmt,) = program.statements
+    assert isinstance(stmt, Store)
+    assert stmt.source == "Fitted"
+    assert stmt.table == "Results"
+
+
+def test_parse_select_form():
+    program = parse(
+        """
+        T1 = SCAN(Images);
+        T2 = SCAN(Mask);
+        J = [SELECT T1.subjId, T1.img, T2.mask
+             FROM T1, BROADCAST(T2)
+             WHERE T1.subjId = T2.subjId];
+        """
+    )
+    query = program.statements[2].source
+    assert isinstance(query, Query)
+    assert [f.name for f in query.froms] == ["T1", "T2"]
+    assert [f.broadcast for f in query.froms] == [False, True]
+    assert len(query.emits) == 3
+    (cond,) = query.conditions
+    assert cond.is_join()
+
+
+def test_parse_emit_form_with_udf():
+    program = parse(
+        "D = [FROM J EMIT PYUDF(Denoise, J.img, J.mask) AS img, J.subjId];"
+    )
+    query = program.statements[0].source
+    first = query.emits[0]
+    assert isinstance(first.expr, UdfCall)
+    assert first.expr.kind == "PYUDF"
+    assert first.expr.fname == "Denoise"
+    assert first.alias == "img"
+    assert len(first.expr.args) == 2
+
+
+def test_parse_uda():
+    program = parse("S = [FROM D EMIT D.subjId, UDA(Fit, D.block) AS fa];")
+    query = program.statements[0].source
+    uda = query.emits[1].expr
+    assert uda.kind == "UDA"
+
+
+def test_parse_unnest():
+    program = parse(
+        "B = [FROM D EMIT UNNEST(PYUDF(Repart, D.img)) AS (blockId, block)];"
+    )
+    (emit,) = program.statements[0].source.emits
+    assert isinstance(emit, Unnest)
+    assert emit.aliases == ["blockId", "block"]
+
+
+def test_unnest_requires_pyudf():
+    with pytest.raises(MyriaLSyntaxError):
+        parse("B = [FROM D EMIT UNNEST(D.img) AS (a)];")
+
+
+def test_parse_literal_conditions():
+    program = parse("B = [SELECT T.a FROM T WHERE T.flag = 1 AND T.x >= 2.5];")
+    conditions = program.statements[0].source.conditions
+    assert len(conditions) == 2
+    assert isinstance(conditions[0].right, Literal)
+    assert conditions[0].right.value == 1
+    assert conditions[1].op == ">="
+    assert conditions[1].right.value == 2.5
+
+
+def test_parse_string_literal():
+    program = parse("B = [SELECT T.a FROM T WHERE T.name = 'subj001'];")
+    cond = program.statements[0].source.conditions[0]
+    assert cond.right.value == "subj001"
+
+
+def test_unqualified_column():
+    program = parse("B = [FROM T EMIT x];")
+    (emit,) = program.statements[0].source.emits
+    assert isinstance(emit.expr, Column)
+    assert emit.expr.alias == ""
+    assert emit.expr.name == "x"
+
+
+def test_figure7_snippet_parses():
+    """The paper's Figure 7 (modulo the registration lines)."""
+    program = parse(
+        """
+        T1 = SCAN(Images);
+        T2 = SCAN(Mask);
+        Joined = [SELECT T1.subjId, T1.imgId, T1.img, T2.mask
+                  FROM T1, T2
+                  WHERE T1.subjId = T2.subjId];
+        Denoised = [FROM Joined EMIT
+                    PYUDF(Denoise, Joined.img, Joined.mask) AS img,
+                    Joined.subjId, Joined.imgId];
+        """
+    )
+    assert len(program.statements) == 4
+
+
+def test_empty_program_rejected():
+    with pytest.raises(MyriaLSyntaxError):
+        parse("   ")
+
+
+def test_unterminated_query_rejected():
+    with pytest.raises(MyriaLSyntaxError):
+        parse("B = [FROM T EMIT x")
+
+
+def test_missing_equals_rejected():
+    with pytest.raises(MyriaLSyntaxError):
+        parse("B SCAN(T);")
+
+
+def test_nested_udf_args():
+    program = parse("B = [FROM T EMIT PYUDF(F, PYUDF(G, T.x)) AS y];")
+    outer = program.statements[0].source.emits[0].expr
+    assert isinstance(outer.args[0], UdfCall)
+    assert outer.args[0].fname == "G"

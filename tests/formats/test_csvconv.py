@@ -1,0 +1,81 @@
+"""Tests for CSV/TSV conversion (SciDB ingest and stream() formats)."""
+
+import numpy as np
+import pytest
+
+from repro.formats.csvconv import (
+    array_to_csv,
+    array_to_tsv,
+    csv_nominal_bytes,
+    csv_to_array,
+    tsv_to_array,
+)
+
+
+def test_csv_roundtrip_2d(rng):
+    a = rng.random((5, 7))
+    text = array_to_csv(a)
+    back = csv_to_array(text, a.shape)
+    assert np.allclose(back, a)
+
+
+def test_csv_roundtrip_4d(rng):
+    a = rng.random((2, 3, 2, 4))
+    back = csv_to_array(array_to_csv(a), a.shape)
+    assert np.allclose(back, a)
+
+
+def test_csv_without_coordinates(rng):
+    a = rng.random((4, 4))
+    text = array_to_csv(a, with_coordinates=False)
+    back = csv_to_array(text, a.shape, with_coordinates=False)
+    assert np.allclose(back, a)
+
+
+def test_csv_row_format():
+    a = np.array([[1.5, 2.5]])
+    lines = array_to_csv(a).splitlines()
+    assert lines[0] == "0,0,1.5"
+    assert lines[1] == "0,1,2.5"
+
+
+def test_csv_wrong_row_count_rejected(rng):
+    a = rng.random((3, 3))
+    text = array_to_csv(a)
+    with pytest.raises(ValueError):
+        csv_to_array(text, (2, 3))
+
+
+def test_csv_wrong_rank_rejected(rng):
+    a = rng.random((3, 3))
+    text = array_to_csv(a)
+    with pytest.raises(ValueError):
+        csv_to_array(text, (3, 3, 1))
+
+
+def test_tsv_roundtrip(rng):
+    a = rng.random((6, 3))
+    assert np.allclose(tsv_to_array(array_to_tsv(a)), a)
+
+
+def test_tsv_1d_promoted_to_2d():
+    a = np.array([1.0, 2.0, 3.0])
+    out = tsv_to_array(array_to_tsv(a))
+    assert out.shape == (1, 3)
+
+
+def test_tsv_empty():
+    assert tsv_to_array("").shape == (0, 0)
+
+
+def test_tsv_ragged_rejected():
+    with pytest.raises(ValueError):
+        tsv_to_array("1.0\t2.0\n3.0\n")
+
+
+def test_nominal_bytes_grows_with_rank():
+    flat = csv_nominal_bytes(1000, rank=0, with_coordinates=False)
+    with_coords = csv_nominal_bytes(1000, rank=4)
+    assert with_coords > flat
+    # CSV is several times larger than binary float32.
+    assert flat > 2 * 1000 * 4

@@ -1,0 +1,127 @@
+"""Tests for the from-scratch FITS codec."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.formats.fits import (
+    BLOCK_SIZE,
+    FitsError,
+    FitsFile,
+    FitsHDU,
+    fits_bytes,
+    read_fits,
+    write_fits,
+)
+
+
+@pytest.fixture
+def exposure_file(rng):
+    flux = rng.random((40, 41)).astype(np.float32)
+    variance = (flux + 5).astype(np.float32)
+    mask = (flux > 0.5).astype(np.int16)
+    return FitsFile(
+        [
+            FitsHDU(header={"VISIT": 7, "SENSOR": 3, "GAIN": 1.5}),
+            FitsHDU(data=flux, name="FLUX"),
+            FitsHDU(data=variance, name="VARIANCE"),
+            FitsHDU(data=mask, name="MASK"),
+        ]
+    )
+
+
+def _roundtrip(f):
+    return read_fits(io.BytesIO(fits_bytes(f)))
+
+
+def test_roundtrip_multi_hdu(exposure_file):
+    back = _roundtrip(exposure_file)
+    assert len(back) == 4
+    assert np.array_equal(back["FLUX"].data, exposure_file["FLUX"].data)
+    assert np.array_equal(back["MASK"].data, exposure_file["MASK"].data)
+
+
+def test_header_values_roundtrip(exposure_file):
+    back = _roundtrip(exposure_file)
+    assert back[0].header["VISIT"] == 7
+    assert back[0].header["GAIN"] == 1.5
+
+
+def test_string_and_bool_values():
+    f = FitsFile([FitsHDU(header={"OBSERVER": "o'brien", "CALIB": True,
+                                  "DARK": False})])
+    back = _roundtrip(f)
+    assert back[0].header["OBSERVER"] == "o'brien"
+    assert back[0].header["CALIB"] is True
+    assert back[0].header["DARK"] is False
+
+
+def test_file_size_is_block_multiple(exposure_file):
+    assert len(fits_bytes(exposure_file)) % BLOCK_SIZE == 0
+
+
+def test_big_endian_on_disk():
+    data = np.array([[1.0, 2.0]], dtype=np.float32)
+    raw = fits_bytes(FitsFile([FitsHDU(data=data)]))
+    # Data block starts after the one header block.
+    disk = np.frombuffer(raw[BLOCK_SIZE:BLOCK_SIZE + 8], dtype=">f4")
+    assert disk[0] == 1.0
+
+
+@pytest.mark.parametrize("dtype", [np.uint8, np.int16, np.int32, np.int64,
+                                   np.float32, np.float64])
+def test_dtypes(dtype, rng):
+    data = (rng.random((6, 5)) * 50).astype(dtype)
+    back = _roundtrip(FitsFile([FitsHDU(data=data)]))
+    assert np.array_equal(back[0].data, data)
+
+
+def test_axis_order_reversed_in_header():
+    """FITS NAXIS1 is the fastest (last) array axis."""
+    data = np.zeros((10, 20), dtype=np.float32)
+    raw = fits_bytes(FitsFile([FitsHDU(data=data)]))
+    header_text = raw[:BLOCK_SIZE].decode("ascii")
+    assert "NAXIS1  =                   20" in header_text
+    assert "NAXIS2  =                   10" in header_text
+
+
+def test_headerless_primary_allowed():
+    back = _roundtrip(FitsFile())
+    assert back[0].data is None
+
+
+def test_3d_cube_roundtrip(rng):
+    cube = rng.random((3, 4, 5)).astype(np.float64)
+    back = _roundtrip(FitsFile([FitsHDU(data=cube)]))
+    assert np.array_equal(back[0].data, cube)
+
+
+def test_unknown_hdu_name_raises(exposure_file):
+    with pytest.raises(KeyError):
+        exposure_file["NOPE"]
+
+
+def test_missing_simple_rejected(exposure_file):
+    raw = bytearray(fits_bytes(exposure_file))
+    raw[0:6] = b"SIMPLX"
+    with pytest.raises(FitsError):
+        read_fits(io.BytesIO(bytes(raw)))
+
+
+def test_truncated_data_rejected(exposure_file):
+    raw = fits_bytes(exposure_file)
+    with pytest.raises(FitsError):
+        read_fits(io.BytesIO(raw[: len(raw) // 2 + 13]))
+
+
+def test_unsupported_dtype_rejected():
+    with pytest.raises(FitsError):
+        FitsHDU(data=np.zeros((2, 2), dtype=np.complex128))
+
+
+def test_write_to_path(tmp_path, exposure_file):
+    path = str(tmp_path / "exp.fits")
+    write_fits(exposure_file, path)
+    back = read_fits(path)
+    assert np.array_equal(back["FLUX"].data, exposure_file["FLUX"].data)

@@ -1,0 +1,123 @@
+"""Tests for the from-scratch NIfTI-1 codec."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.formats.nifti import (
+    HEADER_SIZE,
+    NiftiError,
+    NiftiImage,
+    nifti_bytes,
+    read_nifti,
+    write_nifti,
+)
+
+
+@pytest.fixture
+def image_4d(rng):
+    data = rng.random((7, 6, 5, 4)).astype(np.float32)
+    return NiftiImage(data, pixdim=(1.25, 1.25, 1.25, 1.0), descrip="hcp-like")
+
+
+def _roundtrip(image, compress=False):
+    return read_nifti(io.BytesIO(nifti_bytes(image, compress=compress)))
+
+
+def test_roundtrip_4d(image_4d):
+    back = _roundtrip(image_4d)
+    assert np.array_equal(back.data, image_4d.data)
+    assert back.dtype == np.float32
+    assert back.pixdim == image_4d.pixdim
+    assert back.descrip == "hcp-like"
+
+
+def test_roundtrip_compressed(image_4d):
+    back = _roundtrip(image_4d, compress=True)
+    assert np.array_equal(back.data, image_4d.data)
+
+
+def test_compressed_smaller_for_regular_data():
+    data = np.zeros((20, 20, 20), dtype=np.float32)
+    image = NiftiImage(data)
+    assert len(nifti_bytes(image, compress=True)) < len(nifti_bytes(image))
+
+
+def test_gz_suffix_triggers_compression(tmp_path, image_4d):
+    path = str(tmp_path / "subject.nii.gz")
+    write_nifti(image_4d, path)
+    back = read_nifti(path)
+    assert np.array_equal(back.data, image_4d.data)
+
+
+def test_plain_file_roundtrip(tmp_path, image_4d):
+    path = str(tmp_path / "subject.nii")
+    write_nifti(image_4d, path)
+    assert np.array_equal(read_nifti(path).data, image_4d.data)
+
+
+@pytest.mark.parametrize("dtype", [np.uint8, np.int16, np.int32, np.float32,
+                                   np.float64])
+def test_dtypes(dtype, rng):
+    data = (rng.random((4, 4, 4)) * 100).astype(dtype)
+    back = _roundtrip(NiftiImage(data))
+    assert back.data.dtype == dtype
+    assert np.array_equal(back.data, data)
+
+
+def test_fortran_order_on_disk(image_4d):
+    """NIfTI stores data in Fortran order; the first axis varies fastest."""
+    raw = nifti_bytes(image_4d)
+    first_two = np.frombuffer(
+        raw[352:352 + 8], dtype=np.float32
+    )
+    assert first_two[0] == image_4d.data[0, 0, 0, 0]
+    assert first_two[1] == image_4d.data[1, 0, 0, 0]
+
+
+def test_intensity_scaling():
+    data = np.arange(8, dtype=np.int16).reshape(2, 2, 2)
+    image = NiftiImage(data, scl_slope=2.0, scl_inter=1.0)
+    back = _roundtrip(image)
+    assert np.allclose(back.scaled_data(), data * 2.0 + 1.0)
+
+
+def test_unscaled_identity_returns_same_array():
+    data = np.ones((2, 2, 2), dtype=np.float32)
+    image = NiftiImage(data)
+    assert image.scaled_data() is image.data
+
+
+def test_rejects_unsupported_dtype():
+    with pytest.raises(NiftiError):
+        NiftiImage(np.zeros((2, 2), dtype=np.complex64))
+
+
+def test_rejects_bad_rank():
+    with pytest.raises(NiftiError):
+        NiftiImage(np.zeros((2,) * 8, dtype=np.float32))
+
+
+def test_rejects_wrong_pixdim_length():
+    with pytest.raises(NiftiError):
+        NiftiImage(np.zeros((2, 2, 2), dtype=np.float32), pixdim=(1.0, 1.0))
+
+
+def test_truncated_file_rejected(image_4d):
+    raw = nifti_bytes(image_4d)
+    with pytest.raises(NiftiError):
+        read_nifti(io.BytesIO(raw[: HEADER_SIZE - 10]))
+    with pytest.raises(NiftiError):
+        read_nifti(io.BytesIO(raw[:-10]))
+
+
+def test_bad_magic_rejected(image_4d):
+    raw = bytearray(nifti_bytes(image_4d))
+    raw[344:348] = b"bad\x00"
+    with pytest.raises(NiftiError):
+        read_nifti(io.BytesIO(bytes(raw)))
+
+
+def test_header_is_348_bytes():
+    assert HEADER_SIZE == 348

@@ -1,0 +1,51 @@
+"""Tests for the ``python -m repro.harness`` CLI."""
+
+import pytest
+
+from repro.harness.__main__ import EXPERIMENTS, main
+
+
+def test_list(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("table1", "fig10c", "fig15", "ablation"):
+        assert name in out
+
+
+def test_no_args_lists(capsys):
+    assert main([]) == 0
+    assert "fig11" in capsys.readouterr().out
+
+
+def test_unknown_experiment_errors():
+    with pytest.raises(SystemExit):
+        main(["fig99"])
+
+
+def test_quick_table1(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1 (neuroscience)" in out
+    assert "Table 1 (astronomy)" in out
+
+
+def test_quick_fig10a(capsys):
+    assert main(["fig10a", "--quick"]) == 0
+    assert "Figure 10a" in capsys.readouterr().out
+
+
+def test_quick_fig12d(capsys):
+    assert main(["fig12d", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "co-addition" in out
+    assert "scidb" in out
+
+
+def test_experiment_registry_complete():
+    expected = {
+        "table1", "fig10a", "fig10b", "fig10c", "fig10d", "fig10e",
+        "fig10f", "fig10g", "fig10h", "fig11", "fig12a", "fig12b",
+        "fig12c", "fig12d", "fig13", "fig14", "fig15", "s531", "s533",
+        "ablation", "ablation-tf", "ablation-tuning",
+    }
+    assert set(EXPERIMENTS) == expected

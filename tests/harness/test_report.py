@@ -1,0 +1,66 @@
+"""Tests for the report printers."""
+
+from repro.harness.report import (
+    format_value,
+    pivot,
+    print_series,
+    print_table,
+    speedup_table,
+)
+
+
+def test_format_value():
+    assert format_value(1234.5) == "1234"
+    assert format_value(12.345) == "12.35"
+    assert format_value(0.1234) == "0.123"
+    assert format_value("text") == "text"
+    assert format_value(7) == "7"
+
+
+def test_print_table_renders(capsys):
+    rows = [{"a": 1, "b": 2.5}, {"a": 10, "b": 0.25}]
+    print_table(rows, title="demo")
+    out = capsys.readouterr().out
+    assert "demo" in out
+    assert "2.50" in out
+    assert "10" in out
+
+
+def test_print_table_empty(capsys):
+    print_table([])
+    assert "(no rows)" in capsys.readouterr().out
+
+
+def test_pivot():
+    rows = [
+        {"size": 1, "engine": "a", "simulated_s": 10.0},
+        {"size": 1, "engine": "b", "simulated_s": 20.0},
+        {"size": 2, "engine": "a", "simulated_s": 15.0},
+    ]
+    grid = pivot(rows, "size", "engine")
+    assert grid[0] == {"size": 1, "a": 10.0, "b": 20.0}
+    assert grid[1]["a"] == 15.0
+    assert "b" not in grid[1]
+
+
+def test_print_series(capsys):
+    rows = [
+        {"size": 1, "engine": "a", "simulated_s": 10.0},
+        {"size": 2, "engine": "a", "simulated_s": 20.0},
+    ]
+    print_series(rows, "size", "engine", title="series")
+    out = capsys.readouterr().out
+    assert "series" in out
+    assert "a" in out
+
+
+def test_speedup_table():
+    rows = [
+        {"engine": "x", "nodes": 16, "simulated_s": 100.0},
+        {"engine": "x", "nodes": 32, "simulated_s": 50.0},
+        {"engine": "x", "nodes": 64, "simulated_s": 30.0},
+    ]
+    speedups = {r["nodes"]: r for r in speedup_table(rows)}
+    assert speedups[16]["speedup"] == 1.0
+    assert speedups[32]["speedup"] == 2.0
+    assert speedups[64]["ideal"] == 4.0

@@ -1,0 +1,64 @@
+"""Tests for the harness scaffolding."""
+
+import pytest
+
+from repro.harness.runner import (
+    ENGINE_KINDS,
+    Stopwatch,
+    astro_visits,
+    fresh_engine,
+    make_cluster,
+    make_engine,
+    neuro_subjects,
+)
+
+
+@pytest.mark.parametrize("kind", ENGINE_KINDS)
+def test_fresh_engine_constructs(kind):
+    cluster, engine = fresh_engine(kind, n_nodes=2)
+    assert engine.cluster is cluster
+    assert cluster.spec.n_nodes == 2
+
+
+def test_myria_cluster_shape():
+    cluster = make_cluster(4, "myria", workers_per_node=8)
+    assert cluster.spec.slots_per_node == 8
+    engine = make_engine("myria", cluster, workers_per_node=8)
+    assert engine.server.n_workers == 32
+
+
+def test_spark_cluster_shape():
+    cluster = make_cluster(4, "spark")
+    assert cluster.spec.slots_per_node == 8
+
+
+def test_unknown_engine_rejected():
+    cluster = make_cluster(2, "spark")
+    with pytest.raises(ValueError):
+        make_engine("flink", cluster)
+
+
+def test_neuro_subjects_deterministic():
+    a = neuro_subjects(2, scale=16, n_volumes=24)
+    b = neuro_subjects(2, scale=16, n_volumes=24)
+    assert a[0].subject_id == b[0].subject_id
+    import numpy as np
+
+    assert np.array_equal(a[1].data.array, b[1].data.array)
+
+
+def test_astro_visits_deterministic():
+    import numpy as np
+
+    a = astro_visits(2, scale=80, n_sensors=4)
+    b = astro_visits(2, scale=80, n_sensors=4)
+    assert np.array_equal(a[0].exposures[0].flux, b[0].exposures[0].flux)
+
+
+def test_stopwatch_laps():
+    cluster = make_cluster(1, "spark")
+    watch = Stopwatch(cluster)
+    cluster.charge_master(3.0)
+    assert watch.lap() == 3.0
+    cluster.charge_master(2.0)
+    assert watch.lap() == 2.0

@@ -1,0 +1,57 @@
+"""Tests for trace analysis."""
+
+import pytest
+
+from repro.cluster import ClusterSpec, SimulatedCluster, Task
+from repro.harness.tracing import (
+    critical_share,
+    node_utilization,
+    summarize_trace,
+)
+
+
+@pytest.fixture
+def traced_cluster():
+    cluster = SimulatedCluster(ClusterSpec(n_nodes=2))
+    tasks = [Task(f"phase-a-{i}", duration=2.0) for i in range(4)]
+    tasks += [Task(f"phase-b-{i}", duration=1.0) for i in range(2)]
+    cluster.run(tasks)
+    return cluster
+
+
+def test_summarize_groups_by_prefix(traced_cluster):
+    rows = summarize_trace(traced_cluster)
+    by = {r["group"]: r for r in rows}
+    assert by["phase-a"]["busy_s"] == pytest.approx(8.0)
+    assert by["phase-a"]["tasks"] == 4
+    assert by["phase-b"]["busy_s"] == pytest.approx(2.0)
+
+
+def test_summary_sorted_descending(traced_cluster):
+    rows = summarize_trace(traced_cluster)
+    assert rows[0]["group"] == "phase-a"
+
+
+def test_critical_share_sums_to_one(traced_cluster):
+    shares = critical_share(traced_cluster, top=10)
+    assert sum(s["share"] for s in shares) == pytest.approx(1.0)
+    assert shares[0]["share"] == pytest.approx(0.8)
+
+
+def test_node_utilization_bounds(traced_cluster):
+    utils = node_utilization(traced_cluster)
+    assert len(utils) == 2
+    for row in utils:
+        assert 0.0 <= row["utilization"] <= 1.0
+
+
+def test_empty_cluster():
+    cluster = SimulatedCluster(ClusterSpec(n_nodes=1))
+    assert summarize_trace(cluster) == []
+    assert node_utilization(cluster) == []
+
+
+def test_custom_grouper(traced_cluster):
+    rows = summarize_trace(traced_cluster, grouper=lambda name: "all")
+    assert len(rows) == 1
+    assert rows[0]["busy_s"] == pytest.approx(10.0)

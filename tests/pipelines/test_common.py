@@ -1,0 +1,107 @@
+"""Tests for shared pipeline helpers (costs and voxel blocks)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.costs import CostModel
+from repro.formats.sizing import SizedArray
+from repro.pipelines import common
+
+CM = CostModel()
+
+
+def _volume(shape=(8, 8, 8), nominal=(145, 145, 174)):
+    return SizedArray(np.arange(np.prod(shape), dtype=float).reshape(shape),
+                      nominal_shape=nominal, meta={"subject_id": "s"})
+
+
+def test_masked_fraction_floor():
+    assert common.masked_fraction(np.zeros((4, 4), dtype=bool)) == 0.01
+    assert common.masked_fraction(np.ones((4, 4), dtype=bool)) == 1.0
+    assert common.masked_fraction(np.array([], dtype=bool)) == 1.0
+
+
+def test_denoise_cost_scales_with_mask():
+    vol = _volume()
+    quarter = common.denoise_cost(CM, 0.25)(vol)
+    half = common.denoise_cost(CM, 0.5)(vol)
+    assert half == pytest.approx(2 * quarter)
+    full = common.denoise_cost_unmasked(CM)(vol)
+    assert full == pytest.approx(4 * quarter)
+
+
+def test_fit_cost_per_sample_semantics():
+    stacked = SizedArray(
+        np.zeros((4, 4, 4, 10)), nominal_shape=(145, 145, 174, 288)
+    )
+    cost = common.fit_cost(CM, 0.5)(stacked)
+    expected = 145 * 145 * 174 * 288 * 0.5 * CM.dtm_fit_per_voxel_sample
+    assert cost == pytest.approx(expected)
+
+
+def test_fit_cost_accepts_block_list():
+    blocks = [_volume() for _i in range(3)]
+    cost = common.fit_cost(CM, 1.0)(blocks)
+    assert cost == pytest.approx(
+        3 * blocks[0].nominal_elements * CM.dtm_fit_per_voxel_sample
+    )
+
+
+def test_split_volume_blocks_covers_volume():
+    vol = _volume(shape=(9, 8, 8))
+    blocks = common.split_volume_blocks(vol, 4)
+    assert len(blocks) == 4
+    total_rows = sum(b.array.shape[0] for _id, b in blocks)
+    assert total_rows == 9
+    # Nominal z extents partition the nominal axis.
+    nominal_total = sum(b.nominal_shape[0] for _id, b in blocks)
+    assert nominal_total == vol.nominal_shape[0]
+
+
+def test_split_more_blocks_than_rows():
+    vol = _volume(shape=(3, 4, 4))
+    blocks = common.split_volume_blocks(vol, 8)
+    assert len(blocks) == 3  # capped at the real extent
+
+
+def test_reassemble_inverts_split():
+    vol = _volume(shape=(8, 5, 5))
+    blocks = dict(common.split_volume_blocks(vol, 4))
+    rebuilt = common.reassemble_blocks(blocks)
+    assert np.array_equal(rebuilt.array, vol.array)
+    assert rebuilt.nominal_shape == vol.nominal_shape
+
+
+def test_reassemble_orders_by_id():
+    vol = _volume(shape=(6, 4, 4))
+    blocks = dict(common.split_volume_blocks(vol, 3))
+    shuffled = {2: blocks[2], 0: blocks[0], 1: blocks[1]}
+    rebuilt = common.reassemble_blocks(shuffled)
+    assert np.array_equal(rebuilt.array, vol.array)
+
+
+def test_astro_costs_use_nominal_pixels():
+    from repro.data import generate_visit
+
+    exposure = generate_visit(0, scale=100, n_sensors=2).exposures[0]
+    pre = common.preprocess_cost(CM)(exposure)
+    expected = exposure.nominal_elements * CM.astro_preprocess_per_pixel
+    assert pre == pytest.approx(expected)
+    patch = common.patch_map_cost(CM)(exposure)
+    assert patch == pytest.approx(
+        exposure.nominal_elements * CM.astro_patch_per_pixel
+    )
+
+
+def test_coadd_cost_scales_with_iterations():
+    pieces = [
+        SizedArray(np.zeros((4, 4)), nominal_shape=(1000, 1000))
+        for _i in range(6)
+    ]
+    two = common.coadd_cost(CM, 2)(pieces)
+    five = common.coadd_cost(CM, 5)(pieces)
+    assert five == pytest.approx(two * 2)  # (5+1)/(2+1)
+
+
+def test_otsu_cost_positive():
+    assert common.otsu_cost(CM)(_volume()) > 0

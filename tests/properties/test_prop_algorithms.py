@@ -1,0 +1,155 @@
+"""Property-based tests: algorithm invariants."""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.algorithms.coadd import coadd_stack, sigma_clip_stack
+from repro.algorithms.dtm import fractional_anisotropy, tensor_eigenvalues
+from repro.algorithms.otsu import otsu_threshold
+from repro.algorithms.patches import PatchGrid, SkyBox
+from repro.algorithms.sources import label_regions
+from repro.algorithms.stencil import median_filter_3d
+
+
+@given(
+    hnp.arrays(
+        np.float64, st.integers(20, 200),
+        elements=st.floats(-1e6, 1e6, allow_nan=False),
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_otsu_threshold_within_range(values):
+    assume(values.min() != values.max())
+    t = otsu_threshold(values)
+    assert values.min() <= t <= values.max()
+
+
+@given(
+    hnp.arrays(
+        np.float64, st.integers(20, 200),
+        elements=st.floats(-1e5, 1e5, allow_nan=False),
+    ),
+    st.floats(-1e3, 1e3),
+)
+@settings(max_examples=30, deadline=None)
+def test_otsu_shift_equivariance(values, shift):
+    assume(values.min() != values.max())
+    t1 = otsu_threshold(values)
+    t2 = otsu_threshold(values + shift)
+    span = values.max() - values.min()
+    assert abs((t2 - shift) - t1) < 0.02 * span + 1e-6
+
+
+@given(
+    hnp.arrays(
+        np.float64,
+        st.tuples(st.integers(3, 6), st.integers(3, 6), st.integers(3, 6)),
+        elements=st.floats(-100, 100, allow_nan=False),
+    )
+)
+@settings(max_examples=30, deadline=None)
+def test_median_filter_output_within_input_range(volume):
+    out = median_filter_3d(volume, radius=1)
+    assert out.min() >= volume.min() - 1e-9
+    assert out.max() <= volume.max() + 1e-9
+
+
+@given(
+    hnp.arrays(
+        np.float64,
+        st.tuples(st.integers(10, 24), st.integers(2, 5), st.integers(2, 5)),
+        elements=st.floats(-1000, 1000, allow_nan=False),
+    )
+)
+@settings(max_examples=30, deadline=None)
+def test_sigma_clip_only_removes_never_alters(stack):
+    clipped = sigma_clip_stack(stack.copy())
+    surviving = ~np.isnan(clipped)
+    assert np.array_equal(clipped[surviving], stack[surviving])
+
+
+@given(
+    hnp.arrays(
+        np.float64,
+        st.tuples(st.integers(10, 24), st.integers(2, 5), st.integers(2, 5)),
+        elements=st.floats(-1000, 1000, allow_nan=False),
+    )
+)
+@settings(max_examples=30, deadline=None)
+def test_coadd_bounded_by_unclipped_sum(stack):
+    coadd, counts = coadd_stack(stack.copy())
+    assert counts.max() <= stack.shape[0]
+    assert counts.min() >= 0
+    # The coadd of surviving values can never exceed the sum of all
+    # positive values (and symmetric for negative).
+    positive_bound = np.where(stack > 0, stack, 0).sum(axis=0)
+    negative_bound = np.where(stack < 0, stack, 0).sum(axis=0)
+    assert np.all(coadd <= positive_bound + 1e-6)
+    assert np.all(coadd >= negative_bound - 1e-6)
+
+
+@given(
+    st.tuples(st.floats(1e-6, 1.0), st.floats(1e-6, 1.0), st.floats(1e-6, 1.0))
+)
+@settings(max_examples=50, deadline=None)
+def test_fa_in_unit_interval(evals):
+    fa = fractional_anisotropy(np.array([sorted(evals, reverse=True)]))
+    assert 0.0 <= fa[0] <= 1.0
+
+
+@given(
+    st.floats(-1e-2, 1e-2), st.floats(-1e-2, 1e-2), st.floats(-1e-2, 1e-2),
+    st.floats(-1e-3, 1e-3), st.floats(-1e-3, 1e-3), st.floats(-1e-3, 1e-3),
+)
+@settings(max_examples=50, deadline=None)
+def test_eigenvalues_sum_to_trace(dxx, dyy, dzz, dxy, dxz, dyz):
+    elements = np.array([[dxx, dyy, dzz, dxy, dxz, dyz]])
+    evals = tensor_eigenvalues(elements)[0]
+    assert np.isclose(evals.sum(), dxx + dyy + dzz, atol=1e-9)
+    assert evals[0] >= evals[1] >= evals[2]
+
+
+@given(
+    st.integers(1, 50), st.integers(1, 50),
+    st.integers(0, 300), st.integers(0, 300),
+    st.integers(1, 120), st.integers(1, 120),
+)
+@settings(max_examples=60, deadline=None)
+def test_patch_fanout_covers_box(ph, pw, y0, x0, h, w):
+    grid = PatchGrid(ph, pw)
+    box = SkyBox(y0, x0, h, w)
+    patches = grid.overlapping_patches(box)
+    assert patches
+    # Every patch genuinely intersects, and the union of intersections
+    # covers the box's area exactly once.
+    total = 0
+    for patch_id in patches:
+        overlap = box.intersect(grid.patch_box(patch_id))
+        assert overlap is not None
+        total += overlap.area()
+    assert total == box.area()
+
+
+@given(
+    hnp.arrays(bool, st.tuples(st.integers(1, 12), st.integers(1, 12)))
+)
+@settings(max_examples=60, deadline=None)
+def test_labeling_partitions_foreground(mask):
+    labels, n = label_regions(mask)
+    assert (labels > 0).sum() == mask.sum()
+    assert set(np.unique(labels)) <= set(range(n + 1))
+    # Every label in 1..n is used.
+    if n:
+        assert set(np.unique(labels[labels > 0])) == set(range(1, n + 1))
+
+
+@given(
+    hnp.arrays(bool, st.tuples(st.integers(2, 10), st.integers(2, 10)))
+)
+@settings(max_examples=60, deadline=None)
+def test_labeling_8_coarser_than_4(mask):
+    _l8, n8 = label_regions(mask, connectivity=8)
+    _l4, n4 = label_regions(mask, connectivity=4)
+    assert n8 <= n4

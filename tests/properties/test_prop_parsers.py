@@ -1,0 +1,76 @@
+"""Property-based tests for the MyriaL and AFL parsers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engines.myria import myrial
+from repro.engines.scidb import afl
+
+identifiers = st.from_regex(r"[A-Za-z][A-Za-z0-9_]{0,10}", fullmatch=True).filter(
+    lambda s: s.upper() not in myrial.KEYWORDS
+)
+
+
+@given(identifiers, identifiers)
+@settings(max_examples=50, deadline=None)
+def test_myrial_scan_roundtrip(name, table):
+    program = myrial.parse(f"{name} = SCAN({table});")
+    (stmt,) = program.statements
+    assert stmt.name == name
+    assert stmt.source.table == table
+
+
+@given(identifiers, identifiers, identifiers, st.integers(-10_000, 10_000))
+@settings(max_examples=50, deadline=None)
+def test_myrial_select_where_literal(alias, table, column, literal):
+    text = (
+        f"{alias} = SCAN({table});"
+        f"Out = [SELECT {alias}.{column} FROM {alias}"
+        f" WHERE {alias}.{column} >= {literal}];"
+    )
+    program = myrial.parse(text)
+    condition = program.statements[1].source.conditions[0]
+    assert condition.right.value == literal
+
+
+@given(st.text(max_size=40))
+@settings(max_examples=100, deadline=None)
+def test_myrial_never_crashes_uncontrolled(text):
+    """Arbitrary input either parses or raises MyriaLSyntaxError."""
+    try:
+        myrial.parse(text)
+    except myrial.MyriaLSyntaxError:
+        pass
+
+
+@given(st.text(max_size=40))
+@settings(max_examples=100, deadline=None)
+def test_afl_never_crashes_uncontrolled(text):
+    try:
+        afl.parse(text)
+    except afl.AFLError:
+        pass
+
+
+@given(identifiers, st.integers(0, 500))
+@settings(max_examples=50, deadline=None)
+def test_afl_filter_structure(name, bound):
+    ast = afl.parse(f"filter(scan({name}), vol < {bound})")
+    assert ast.fname == "filter"
+    assert ast.args[1].right.value == bound
+
+
+@given(st.lists(st.integers(-100, 100), min_size=2, max_size=8))
+@settings(max_examples=50, deadline=None)
+def test_afl_between_bounds_roundtrip(bounds):
+    text = "between(scan(a), " + ", ".join(str(b) for b in bounds) + ")"
+    ast = afl.parse(text)
+    assert [a.value for a in ast.args[1:]] == bounds
+
+
+@given(identifiers)
+@settings(max_examples=50, deadline=None)
+def test_afl_case_insensitive_operator_names(name):
+    ast = afl.parse(f"SCAN({name})")
+    assert ast.fname == "scan"
