@@ -6,7 +6,12 @@ paper's Section 5.3:
 
 - Spark's input partition count (Figure 14),
 - Myria's workers per node (Figure 13),
-- Myria's memory-management strategies (Figure 15).
+- Myria's memory-management strategies (Figure 15),
+
+then shows the observability layer explaining *why* one of those
+settings wins: a metrics-annotated re-run of the worst and best Spark
+partition counts, a "where did the time go" breakdown, and a Chrome
+trace you can open in chrome://tracing or ui.perfetto.dev.
 
 Run with::
 
@@ -16,7 +21,9 @@ Run with::
 from repro.cluster.errors import OutOfMemoryError
 from repro.data import generate_subject, generate_visit
 from repro.harness.experiments import run_neuro_end_to_end
-from repro.harness.runner import fresh_engine, Stopwatch
+from repro.harness.report import print_breakdown
+from repro.harness.runner import fresh_engine, observe_clusters, Stopwatch
+from repro.obs import ClusterMetrics, write_chrome_trace
 from repro.pipelines.astro import on_myria as astro_myria
 from repro.pipelines.astro.staging import stage_visits
 
@@ -68,10 +75,36 @@ def myria_memory():
                 print(f"    {mode:<14}      OOM ({exc.node})")
 
 
+def why_partitions_matter():
+    """Observe the Spark partition study instead of just timing it."""
+    print("\nWhy partition count matters (observability layer):")
+    subjects = [generate_subject("tune", scale=14, n_volumes=48)]
+    for partitions in (1, 48):
+        captured = []
+
+        def observer(cluster):
+            captured.append((cluster, ClusterMetrics.attach(cluster)))
+
+        with observe_clusters(observer):
+            run_neuro_end_to_end(
+                "spark", subjects, n_nodes=N_NODES,
+                input_partitions=partitions, group_partitions=partitions,
+            )
+        cluster, metrics = captured[-1]
+        print(f"\n--- {partitions} partition(s) ---")
+        print_breakdown(cluster, metrics=metrics)
+        path = write_chrome_trace(
+            cluster, f"spark-{partitions}-partitions-trace.json",
+            metrics=metrics,
+        )
+        print(f"(Chrome trace written to {path})")
+
+
 def main():
     spark_partitions()
     myria_workers()
     myria_memory()
+    why_partitions_matter()
     print("\nTuned settings everywhere: the paper's Section 6 lesson --"
           " none of the systems performs best out of the box.")
 

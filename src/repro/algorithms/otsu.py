@@ -27,9 +27,14 @@ def otsu_threshold(values, nbins=256):
     if lo == hi:
         raise ValueError("cannot threshold a constant volume")
 
-    hist, edges = np.histogram(values, bins=nbins, range=(lo, hi))
+    # Bin the offsets from ``lo`` rather than the raw values: histogram
+    # edges then depend only on the data's span, so adding a constant to
+    # every intensity shifts the threshold by exactly that constant
+    # (bin-edge placement would otherwise drift with the absolute
+    # magnitude and break shift equivariance).
+    hist, edges = np.histogram(values - lo, bins=nbins, range=(0.0, hi - lo))
     hist = hist.astype(np.float64)
-    centers = (edges[:-1] + edges[1:]) / 2.0
+    centers = lo + (edges[:-1] + edges[1:]) / 2.0
 
     weight_fg = np.cumsum(hist)                    # class 0: <= threshold
     weight_bg = np.cumsum(hist[::-1])[::-1]        # class 1: > threshold

@@ -23,17 +23,30 @@ from repro.cluster.network import NetworkModel
 from repro.cluster.objectstore import ObjectStore
 from repro.cluster.spec import ClusterSpec
 from repro.cluster.task import Task, TaskResult
+from repro.obs import Observability
+from repro.obs.events import (
+    TaskFailed,
+    TaskFinished,
+    TaskPlaced,
+    TaskQueued,
+    TaskStarted,
+)
 
 
 class Node:
     """Runtime state of one simulated machine."""
 
-    def __init__(self, name, spec, slots, cost_model):
+    def __init__(self, name, spec, slots, cost_model, obs=None):
         self.name = name
         self.spec = spec
         self.slots = slots
         self.busy_slots = 0
-        self.memory = MemoryTracker(name, spec.memory_bytes)
+        self.memory = MemoryTracker(
+            name,
+            spec.memory_bytes,
+            events=obs.events if obs is not None else None,
+            clock=obs.clock if obs is not None else None,
+        )
         self.disk = LocalDisk(name, spec.disk_bytes)
         self.cost_model = cost_model
         self.busy_seconds = 0.0
@@ -56,10 +69,15 @@ class SimulatedCluster:
         self.spec = spec
         self.cost_model = cost_model
         self.clock = VirtualClock()
-        self.network = NetworkModel(cost_model)
+        self.obs = Observability(self.clock)
+        self.network = NetworkModel(
+            cost_model, events=self.obs.events, clock=self.clock
+        )
         self.object_store = object_store if object_store is not None else ObjectStore()
+        self.object_store.bind(self.obs.events, self.clock)
         self.nodes = {
-            name: Node(name, spec.node, spec.slots_per_node, cost_model)
+            name: Node(name, spec.node, spec.slots_per_node, cost_model,
+                       obs=self.obs)
             for name in spec.node_names()
         }
         self.node_order = spec.node_names()
@@ -97,7 +115,9 @@ class SimulatedCluster:
         if seconds < 0:
             raise ValueError(f"cannot charge negative time: {seconds}")
         self.clock.advance_by(seconds)
-        self.task_trace.append((label, self.master, self.now - seconds, self.now))
+        start = self.now - seconds
+        self.task_trace.append((label, self.master, start, self.now))
+        self.obs.record_task(label, self.master, start, self.now)
 
     # ------------------------------------------------------------------
     # The executor
@@ -114,6 +134,11 @@ class SimulatedCluster:
         pending = self._collect(tasks)
         if not pending:
             return {}
+
+        bus = self.obs.events
+        if bus:
+            for task in sorted(pending.values(), key=lambda t: t.task_id):
+                bus.emit(TaskQueued(self.now, task.name, task.task_id))
 
         waiting_deps = {}
         dependents = {}
@@ -184,6 +209,14 @@ class SimulatedCluster:
                 self.completed[task.task_id] = result
                 run_results[task.task_id] = result
                 self.task_trace.append((task.name, node.name, result.start_time, time))
+                self.obs.record_task(task.name, node.name, result.start_time, time)
+                if bus:
+                    bus.emit(
+                        TaskFinished(
+                            time, task.name, task.task_id, node.name,
+                            result.start_time,
+                        )
+                    )
                 for child in dependents.get(task.task_id, ()):
                     waiting_deps[child.task_id] -= 1
                     if waiting_deps[child.task_id] == 0:
@@ -263,8 +296,9 @@ class SimulatedCluster:
                 fit_bytes = task.memory_bytes - spill_bytes
                 if fit_bytes > 0:
                     alloc_id = node.memory.allocate(fit_bytes, task.name)
+                node.memory.note_spill(spill_bytes, task.name)
             else:  # "fail"
-                node.memory.oom_count += 1
+                node.memory.record_oom(task.memory_bytes, task.name)
                 raise OutOfMemoryError(
                     node.name,
                     task.memory_bytes,
@@ -291,6 +325,13 @@ class SimulatedCluster:
             except Exception as exc:  # noqa: BLE001 - rewrapped with context
                 if alloc_id is not None:
                     node.memory.free(alloc_id)
+                if self.obs.events:
+                    self.obs.events.emit(
+                        TaskFailed(
+                            self.now, task.name, task.task_id, node.name,
+                            repr(exc),
+                        )
+                    )
                 raise TaskFailedError(task.name, exc) from exc
         else:
             value = None
@@ -308,6 +349,13 @@ class SimulatedCluster:
         node.busy_slots += 1
         node.busy_seconds += transfer + duration
         self._start_times[task.task_id] = start
+        if self.obs.events:
+            self.obs.events.emit(
+                TaskPlaced(start, task.name, task.task_id, node.name)
+            )
+            self.obs.events.emit(
+                TaskStarted(start, task.name, task.task_id, node.name)
+            )
         heapq.heappush(
             events, (end, task.task_id, "complete", (task, node, alloc_id, value))
         )
@@ -330,9 +378,35 @@ class SimulatedCluster:
         busy = sum(n.busy_seconds for n in self.nodes.values())
         return busy / total_capacity
 
+    def node_summaries(self):
+        """Per-node resource summary rows, master first.
+
+        Each row reports ``busy_seconds``, the memory high-water mark
+        (``peak_memory_bytes``), OOM and spill totals, and disk
+        traffic -- the per-node view behind Figure 15's memory
+        analysis and the ``trace`` CLI breakdown.
+        """
+        rows = []
+        for name in self.node_order:
+            node = self.nodes[name]
+            rows.append(
+                {
+                    "node": name,
+                    "busy_seconds": node.busy_seconds,
+                    "peak_memory_bytes": node.memory.peak_bytes,
+                    "used_memory_bytes": node.memory.used_bytes,
+                    "oom_count": node.memory.oom_count,
+                    "spilled_bytes": node.memory.spilled_bytes,
+                    "disk_bytes_written": node.disk.bytes_written,
+                    "disk_bytes_read": node.disk.bytes_read,
+                }
+            )
+        return rows
+
     def reset_clock(self):
         """Rewind the clock (between benchmark trials on one cluster)."""
         self.clock.reset()
         self.task_trace.clear()
+        self.obs.reset()
         for node in self.nodes.values():
             node.busy_seconds = 0.0

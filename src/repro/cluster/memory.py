@@ -8,12 +8,23 @@ disk, Dask keeps results on the producing worker.
 """
 
 from repro.cluster.errors import OutOfMemoryError
+from repro.obs.events import (
+    MemoryAllocated,
+    MemoryFreed,
+    MemoryOOM,
+    MemorySpilled,
+)
 
 
 class MemoryTracker:
-    """Tracks resident bytes on one node and enforces its capacity."""
+    """Tracks resident bytes on one node and enforces its capacity.
 
-    def __init__(self, node, capacity_bytes):
+    ``events``/``clock`` (optional, wired by the cluster) let the
+    tracker publish allocate/free/spill/OOM events with virtual-clock
+    timestamps; standalone trackers work unchanged without them.
+    """
+
+    def __init__(self, node, capacity_bytes, events=None, clock=None):
         if capacity_bytes <= 0:
             raise ValueError("memory capacity must be positive")
         self.node = node
@@ -22,6 +33,12 @@ class MemoryTracker:
         self._next_id = 0
         self.peak_bytes = 0
         self.oom_count = 0
+        self.spilled_bytes = 0
+        self._events = events
+        self._clock = clock
+
+    def _now(self):
+        return self._clock.now if self._clock is not None else 0.0
 
     @property
     def used_bytes(self):
@@ -43,13 +60,38 @@ class MemoryTracker:
         if nbytes < 0:
             raise ValueError(f"cannot allocate negative bytes: {nbytes}")
         if nbytes > self.available_bytes:
-            self.oom_count += 1
+            self.record_oom(nbytes, label)
             raise OutOfMemoryError(self.node, nbytes, self.available_bytes, label)
         alloc_id = self._next_id
         self._next_id += 1
         self._allocations[alloc_id] = nbytes
         self.peak_bytes = max(self.peak_bytes, self.used_bytes)
+        if self._events:
+            self._events.emit(
+                MemoryAllocated(
+                    self._now(), self.node, nbytes, self.used_bytes, label
+                )
+            )
         return alloc_id
+
+    def record_oom(self, requested, label=""):
+        """Count (and publish) one refused allocation."""
+        self.oom_count += 1
+        if self._events:
+            self._events.emit(
+                MemoryOOM(
+                    self._now(), self.node, int(requested),
+                    self.available_bytes, label,
+                )
+            )
+
+    def note_spill(self, nbytes, label=""):
+        """Count (and publish) bytes that overflowed to local disk."""
+        self.spilled_bytes += int(nbytes)
+        if self._events:
+            self._events.emit(
+                MemorySpilled(self._now(), self.node, int(nbytes), label)
+            )
 
     def would_fit(self, nbytes):
         """Whether an allocation of ``nbytes`` would succeed."""
@@ -59,11 +101,18 @@ class MemoryTracker:
         """Release a previous allocation; idempotent frees are bugs."""
         if alloc_id not in self._allocations:
             raise KeyError(f"unknown or already-freed allocation {alloc_id}")
-        del self._allocations[alloc_id]
+        nbytes = self._allocations.pop(alloc_id)
+        if self._events:
+            self._events.emit(
+                MemoryFreed(self._now(), self.node, nbytes, self.used_bytes)
+            )
 
     def free_all(self):
         """Release every outstanding allocation."""
+        released = self.used_bytes
         self._allocations.clear()
+        if self._events and released:
+            self._events.emit(MemoryFreed(self._now(), self.node, released, 0))
 
     def __repr__(self):
         return (

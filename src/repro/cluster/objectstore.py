@@ -12,6 +12,21 @@ class ObjectStore:
 
     def __init__(self):
         self._objects = {}
+        self._events = None
+        self._clock = None
+
+    def bind(self, events, clock):
+        """Attach an event bus + clock for put/get publication.
+
+        A store shared across clusters follows the most recently
+        constructed one (each ``SimulatedCluster`` re-binds the store
+        it is given).
+        """
+        self._events = events
+        self._clock = clock
+
+    def _now(self):
+        return self._clock.now if self._clock is not None else 0.0
 
     @staticmethod
     def _key(bucket, key):
@@ -25,10 +40,18 @@ class ObjectStore:
         if nbytes < 0:
             raise ValueError(f"object size cannot be negative: {nbytes}")
         self._objects[self._key(bucket, key)] = (value, nbytes)
+        if self._events:
+            from repro.obs.events import ObjectPut
+
+            self._events.emit(ObjectPut(self._now(), bucket, key, nbytes))
 
     def get(self, bucket, key):
         """Return the stored object; raises ``KeyError`` when missing."""
-        value, _nbytes = self._objects[self._key(bucket, key)]
+        value, nbytes = self._objects[self._key(bucket, key)]
+        if self._events:
+            from repro.obs.events import ObjectGet
+
+            self._events.emit(ObjectGet(self._now(), bucket, key, nbytes))
         return value
 
     def size_of(self, bucket, key):

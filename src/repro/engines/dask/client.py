@@ -38,6 +38,7 @@ class DaskClient(Engine):
         self._result_nodes = {}     # Delayed.key -> node name
         self._result_allocs = {}    # Delayed.key -> (node, alloc_id)
         self._dispatch_count = 0
+        self._barrier_count = 0
         self.steal_count = 0
 
     def startup_cost(self):
@@ -69,6 +70,15 @@ class DaskClient(Engine):
         """
         self.ensure_started()
         nodes = self.cluster.node_order
+        values = list(values)
+        handles = []
+        with self.cluster.obs.span(
+            "dask-scatter", category="dask", values=len(values),
+        ):
+            handles.extend(self._scatter_all(values, workers, nodes))
+        return handles
+
+    def _scatter_all(self, values, workers, nodes):
         handles = []
         for index, value in enumerate(values):
             placement = workers or nodes[index % len(nodes)]
@@ -100,7 +110,13 @@ class DaskClient(Engine):
         graph = self._collect(delayeds)
         pending = [d for d in graph if d.key not in self._results]
         if pending:
-            self._schedule(pending)
+            barrier = self._barrier_count
+            self._barrier_count += 1
+            with self.cluster.obs.span(
+                f"dask-compute-{barrier}", category="dask",
+                tasks=len(pending),
+            ):
+                self._schedule(pending)
         return [self._results[d.key] for d in delayeds]
 
     def release(self, delayeds):

@@ -41,7 +41,10 @@ class Delayed:
 
     def result(self):
         """Barrier: evaluate this node (and everything it needs)."""
-        return self.client.compute([self])[0]
+        with self.client.cluster.obs.span(
+            f"dask-result-{self.key}", category="dask",
+        ):
+            return self.client.compute([self])[0]
 
     def __repr__(self):
         return f"Delayed({self.key})"

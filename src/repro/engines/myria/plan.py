@@ -224,7 +224,10 @@ class MyriaServer:
                     node=self.worker_node(worker),
                 )
             )
-        self.cluster.run(tasks)
+        with self.cluster.obs.span(
+            f"myria-insert-{relation.name}", category="myria",
+        ):
+            self.cluster.run(tasks)
         return sharded
 
     # ------------------------------------------------------------------
@@ -241,26 +244,32 @@ class MyriaServer:
         if mode != "chunked":
             chunks = 1
 
-        self.cluster.charge_master(
-            self.cluster.cost_model.myria_query_startup, label="Myria query submit"
-        )
-        try:
-            if chunks == 1:
-                return self._execute_once(program, mode, chunk=(0, 1))
-            merged = {}
-            for chunk_index in range(chunks):
-                partial = self._execute_once(
-                    program, "materialized", chunk=(chunk_index, chunks)
-                )
-                for name, intermediate in partial.items():
-                    if name not in merged:
-                        merged[name] = intermediate
-                    else:
-                        for w in range(self.n_workers):
-                            merged[name].shards[w].extend(intermediate.shards[w])
-            return merged
-        finally:
-            self._release_resident()
+        with self.cluster.obs.span(
+            "myria-query", category="myria", mode=mode, chunks=chunks,
+        ):
+            self.cluster.charge_master(
+                self.cluster.cost_model.myria_query_startup,
+                label="Myria query submit",
+            )
+            try:
+                if chunks == 1:
+                    return self._execute_once(program, mode, chunk=(0, 1))
+                merged = {}
+                for chunk_index in range(chunks):
+                    partial = self._execute_once(
+                        program, "materialized", chunk=(chunk_index, chunks)
+                    )
+                    for name, intermediate in partial.items():
+                        if name not in merged:
+                            merged[name] = intermediate
+                        else:
+                            for w in range(self.n_workers):
+                                merged[name].shards[w].extend(
+                                    intermediate.shards[w]
+                                )
+                return merged
+            finally:
+                self._release_resident()
 
     #: Safety bound for DO...WHILE loops (a query bug, not a data size,
     #: if an iterative analysis needs more).
@@ -319,6 +328,10 @@ class MyriaServer:
     # -- query body -------------------------------------------------------
 
     def _run_query(self, name, query, env, mode, chunk):
+        with self.cluster.obs.span(f"myria-{name}", category="myria"):
+            return self._run_query_inner(name, query, env, mode, chunk)
+
+    def _run_query_inner(self, name, query, env, mode, chunk):
         join_conditions, selections = split_conditions(query.conditions)
 
         if len(query.froms) == 1:
@@ -570,6 +583,10 @@ class MyriaServer:
 
     def _shuffle(self, shards, key_indices, label):
         """Hash-repartition shards by key; charges network + (de)serialization."""
+        with self.cluster.obs.span(f"myria-shuffle-{label}", category="myria"):
+            return self._shuffle_inner(shards, key_indices, label)
+
+    def _shuffle_inner(self, shards, key_indices, label):
         cm = self.cluster.cost_model
         n_nodes = self.cluster.spec.n_nodes
         remote_fraction = (n_nodes - 1) / n_nodes if n_nodes > 1 else 0.0

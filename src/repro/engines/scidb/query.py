@@ -126,7 +126,10 @@ class SciDBConnection(Engine):
                 duration=duration,
                 node=self.instance_node(instance),
             )
-        results = self.cluster.run(list(tasks.values()))
+        with self.cluster.obs.span(
+            f"scidb-{label}", category="scidb", chunks=len(tasks),
+        ):
+            results = self.cluster.run(list(tasks.values()))
         return {
             coords: results[task.task_id].value for coords, task in tasks.items()
         }

@@ -62,16 +62,21 @@ class SparkScheduler:
         self.sc.ensure_started()
         plans = self._plan_stages(rdd)
         partitions = None
+        obs = self.sc.cluster.obs
         for index, plan in enumerate(plans):
             shuffle_partitioner = None
             if index + 1 < len(plans) and plans[index + 1].base.op in WIDE_OPS:
                 nxt = plans[index + 1].base
                 shuffle_partitioner = HashPartitioner(nxt.num_partitions)
-            partitions = self._run_stage(plan, partitions, shuffle_partitioner)
-            self.stages_run += 1
-            for node in plan.narrow_ops + [plan.base]:
-                if node.cached and node is plan.result_rdd:
-                    self._store_cache(node, partitions)
+            with obs.span(
+                f"spark-stage{self.stages_run}", category="spark",
+                op=plan.base.op,
+            ):
+                partitions = self._run_stage(plan, partitions, shuffle_partitioner)
+                self.stages_run += 1
+                for node in plan.narrow_ops + [plan.base]:
+                    if node.cached and node is plan.result_rdd:
+                        self._store_cache(node, partitions)
         return partitions
 
     def cached_partitions(self, rdd):

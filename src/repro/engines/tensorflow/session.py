@@ -21,6 +21,7 @@ class Session(Engine):
 
     def __init__(self, cluster):
         super().__init__(cluster)
+        self._run_count = 0
 
     def startup_cost(self):
         """One-time engine startup in simulated seconds."""
@@ -32,6 +33,14 @@ class Session(Engine):
         ``feed_dict`` maps placeholder nodes to arrays/SizedArrays.
         """
         self.ensure_started()
+        step = self._run_count
+        self._run_count += 1
+        with self.cluster.obs.span(
+            f"tf-run-{step}", category="tensorflow", fetches=len(fetches),
+        ):
+            return self._run(graph, fetches, feed_dict)
+
+    def _run(self, graph, fetches, feed_dict):
         graph.check_size()
         feed_dict = {k: Tensor.wrap(v) for k, v in (feed_dict or {}).items()}
         cm = self.cost_model

@@ -6,10 +6,16 @@ Usage::
     python -m repro.harness table1 fig10a fig12a
     python -m repro.harness fig10c --quick
     python -m repro.harness all --quick
+    python -m repro.harness trace neuro --engine spark --out trace.json
 
 ``--quick`` swaps the benchmark dataset profile for a miniature one, so
 every experiment finishes in seconds (shapes are still indicative but
 noisier; the pytest benchmark suite asserts them at the full profile).
+
+The ``trace`` subcommand runs one experiment with the observability
+layer attached, prints the "where did the time go" breakdown, and
+writes a Chrome ``trace_event`` JSON file for chrome://tracing or
+Perfetto.
 """
 
 import argparse
@@ -17,7 +23,13 @@ import sys
 
 from repro.harness import experiments as E
 from repro.harness.loc import table1_rows
-from repro.harness.report import print_series, print_table
+from repro.harness.report import print_breakdown, print_series, print_table
+from repro.harness.runner import (
+    DEFAULT_NODES,
+    astro_visits,
+    neuro_subjects,
+    observe_clusters,
+)
 
 QUICK_NEURO = {"scale": 20, "n_volumes": 24}
 QUICK_ASTRO = {"scale": 100, "n_sensors": 6}
@@ -226,8 +238,87 @@ EXPERIMENTS = {
 }
 
 
+def _trace_main(argv):
+    """``python -m repro.harness trace <experiment>`` entry point."""
+    from repro.obs import ClusterMetrics, write_chrome_trace
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness trace",
+        description="Run one experiment under the observability layer;"
+        " print its time/bytes breakdown and export a Chrome trace.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="'neuro' or 'astro' for one end-to-end run, or any"
+        " experiment id from --list (the last cluster it builds is"
+        " traced)",
+    )
+    parser.add_argument("--engine", default="spark",
+                        choices=("spark", "myria", "dask"),
+                        help="engine for neuro/astro end-to-end runs")
+    parser.add_argument("--nodes", type=int, default=DEFAULT_NODES,
+                        help="cluster size for neuro/astro runs")
+    parser.add_argument("--subjects", type=int, default=2,
+                        help="neuro dataset size")
+    parser.add_argument("--visits", type=int, default=4,
+                        help="astro dataset size")
+    parser.add_argument("--quick", action="store_true",
+                        help="miniature dataset profile")
+    parser.add_argument("--out", default=None,
+                        help="trace JSON path (default <experiment>-trace.json)")
+    args = parser.parse_args(argv)
+
+    captured = []
+
+    def observer(cluster):
+        captured.append((cluster, ClusterMetrics.attach(cluster)))
+
+    with observe_clusters(observer):
+        if args.experiment == "neuro":
+            subjects = neuro_subjects(
+                args.subjects, **(QUICK_NEURO if args.quick else {})
+            )
+            seconds = E.run_neuro_end_to_end(
+                args.engine, subjects, n_nodes=args.nodes
+            )
+            print(f"{args.engine} neuro end-to-end over {args.nodes} nodes:"
+                  f" {seconds:.1f} simulated s\n")
+        elif args.experiment == "astro":
+            visits = astro_visits(
+                args.visits, **(QUICK_ASTRO if args.quick else {})
+            )
+            seconds = E.run_astro_end_to_end(
+                args.engine, visits, n_nodes=args.nodes
+            )
+            print(f"{args.engine} astro end-to-end over {args.nodes} nodes:"
+                  f" {seconds:.1f} simulated s\n")
+        elif args.experiment in EXPERIMENTS:
+            EXPERIMENTS[args.experiment](args.quick)
+            print()
+        else:
+            parser.error(
+                f"unknown experiment {args.experiment!r}; expected 'neuro',"
+                " 'astro', or an id from --list"
+            )
+    if not captured:
+        parser.error(
+            f"experiment {args.experiment!r} built no cluster to trace"
+        )
+    cluster, metrics = captured[-1]
+    print_breakdown(cluster, metrics=metrics)
+    out_path = args.out or f"{args.experiment}-trace.json"
+    write_chrome_trace(cluster, out_path, metrics=metrics)
+    print(f"\nwrote Chrome trace to {out_path}"
+          " (load in chrome://tracing or ui.perfetto.dev)")
+    return 0
+
+
 def main(argv=None):
     """CLI entry point."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "trace":
+        return _trace_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",
         description="Regenerate tables/figures from the paper's evaluation.",

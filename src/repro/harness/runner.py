@@ -6,6 +6,8 @@ Myria/SciDB run multiple single-slot workers/instances per node while
 Spark/Dask/TensorFlow multiplex cores within one worker.
 """
 
+from contextlib import contextmanager
+
 from repro.cluster import ClusterSpec, SimulatedCluster
 from repro.data import generate_subject, generate_visit
 from repro.engines.dask import DaskClient
@@ -25,6 +27,28 @@ DEFAULT_NODES = 16
 
 ENGINE_KINDS = ("spark", "myria", "dask", "scidb", "tensorflow")
 
+#: Callbacks invoked with every cluster built by :func:`make_cluster`
+#: while an :func:`observe_clusters` context is active.
+_cluster_observers = []
+
+
+@contextmanager
+def observe_clusters(callback):
+    """Call ``callback(cluster)`` for every cluster built inside.
+
+    Experiment helpers construct their clusters internally; this hook
+    lets observability consumers (the ``trace`` CLI, tests) subscribe
+    to those clusters' event buses before any task runs::
+
+        with observe_clusters(lambda c: ClusterMetrics.attach(c)):
+            run_neuro_end_to_end("spark", subjects)
+    """
+    _cluster_observers.append(callback)
+    try:
+        yield
+    finally:
+        _cluster_observers.remove(callback)
+
 
 def make_cluster(n_nodes, kind, workers_per_node=None, cost_model=None):
     """A fresh cluster shaped for one engine kind."""
@@ -34,8 +58,12 @@ def make_cluster(n_nodes, kind, workers_per_node=None, cost_model=None):
     else:
         spec = ClusterSpec(n_nodes=n_nodes)
     if cost_model is None:
-        return SimulatedCluster(spec)
-    return SimulatedCluster(spec, cost_model=cost_model)
+        cluster = SimulatedCluster(spec)
+    else:
+        cluster = SimulatedCluster(spec, cost_model=cost_model)
+    for callback in list(_cluster_observers):
+        callback(cluster)
+    return cluster
 
 
 def make_engine(kind, cluster, workers_per_node=None):

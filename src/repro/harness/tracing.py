@@ -1,60 +1,44 @@
 """Execution-trace analysis for simulated runs.
 
-Every :class:`~repro.cluster.cluster.SimulatedCluster` records a
-``task_trace`` of ``(name, node, start, end)`` tuples.  These helpers
-turn that trace into the per-phase breakdowns used when calibrating the
-cost model (and useful to anyone asking "where did the time go?").
+.. deprecated::
+    This module is a thin compatibility shim over the span store in
+    :mod:`repro.obs`.  New code should use
+    :func:`repro.obs.summarize_records` / :func:`repro.obs.records_of`
+    (span-aware grouping) and :func:`repro.obs.format_breakdown` for
+    the full "where did the time go" report.
+
+The public API is unchanged: clusters still record a ``task_trace`` of
+``(name, node, start, end)`` tuples, and these helpers aggregate it
+into the per-phase breakdowns used when calibrating the cost model.
+Tasks executed inside an engine span are now attributed to that span's
+name instead of the old name-prefix heuristic; span-less traces group
+exactly as before.
 """
 
-from collections import defaultdict
-
-
-def _default_grouper(name):
-    """Group task names by their engine/stage prefix.
-
-    ``spark-stage3-part7`` -> ``spark-stage3``; ``dask-denoise_one-42``
-    -> ``dask-denoise_one``; anything without digits groups as itself.
-    """
-    parts = name.split("-")
-    while parts and parts[-1].isdigit():
-        parts.pop()
-    head = "-".join(parts) if parts else name
-    return head.rstrip("0123456789")
+from repro.obs.breakdown import (
+    default_grouper as _default_grouper,  # noqa: F401 - legacy import path
+    node_utilization_rows,
+    records_of,
+    summarize_records,
+)
 
 
 def summarize_trace(cluster, grouper=None):
     """Aggregate the cluster's task trace into per-group totals.
 
     Returns rows sorted by descending busy time:
-    ``{"group", "busy_s", "tasks", "first_start", "last_end"}``.
+    ``{"group", "busy_s", "tasks", "first_start", "last_end", ...}``.
+
+    .. deprecated:: use :func:`repro.obs.summarize_records` directly.
     """
-    grouper = grouper or _default_grouper
-    busy = defaultdict(float)
-    count = defaultdict(int)
-    first = {}
-    last = {}
-    for name, _node, start, end in cluster.task_trace:
-        group = grouper(name)
-        busy[group] += end - start
-        count[group] += 1
-        first[group] = min(first.get(group, start), start)
-        last[group] = max(last.get(group, end), end)
-    rows = [
-        {
-            "group": group,
-            "busy_s": busy[group],
-            "tasks": count[group],
-            "first_start": first[group],
-            "last_end": last[group],
-        }
-        for group in busy
-    ]
-    rows.sort(key=lambda r: -r["busy_s"])
-    return rows
+    return summarize_records(records_of(cluster), grouper=grouper)
 
 
 def critical_share(cluster, top=5, grouper=None):
-    """The ``top`` groups and their share of total busy time."""
+    """The ``top`` groups and their share of total busy time.
+
+    .. deprecated:: use :func:`repro.obs.summarize_records` directly.
+    """
     rows = summarize_trace(cluster, grouper=grouper)
     total = sum(r["busy_s"] for r in rows) or 1.0
     return [
@@ -64,17 +48,8 @@ def critical_share(cluster, top=5, grouper=None):
 
 
 def node_utilization(cluster):
-    """Per-node busy fraction of the elapsed simulated time."""
-    if cluster.now == 0:
-        return []
-    busy = defaultdict(float)
-    for _name, node, start, end in cluster.task_trace:
-        busy[node] += end - start
-    return [
-        {
-            "node": name,
-            "utilization": busy.get(name, 0.0)
-            / (cluster.now * cluster.spec.slots_per_node),
-        }
-        for name in cluster.node_order
-    ]
+    """Per-node busy fraction of the elapsed simulated time.
+
+    .. deprecated:: use :func:`repro.obs.node_utilization_rows`.
+    """
+    return node_utilization_rows(cluster)

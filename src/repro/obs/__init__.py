@@ -1,0 +1,98 @@
+"""Cluster-wide observability: events, metrics, spans, exporters.
+
+The paper's conclusions come from explaining *where time goes* in each
+system (startup, format conversion, shuffles, memory pressure --
+Figures 10-15).  This package makes those explanations observable from
+any simulated run:
+
+- :mod:`repro.obs.events` -- typed lifecycle events on a per-cluster
+  bus (``cluster.obs.events``), with zero overhead while nobody
+  subscribes.
+- :mod:`repro.obs.metrics` -- counters/gauges/histograms populated
+  from the bus by :class:`ClusterMetrics`.
+- :mod:`repro.obs.spans` -- named, nested spans engines wrap their
+  stages in (``with cluster.obs.span("spark-stage0"): ...``).
+- :mod:`repro.obs.breakdown` -- per-group "where did the time go"
+  summaries and the plain-text report.
+- :mod:`repro.obs.chrome_trace` -- Chrome ``trace_event`` JSON export
+  (chrome://tracing / Perfetto).
+
+See the "Observability" section of DESIGN.md and
+``python -m repro.harness trace`` for the end-to-end workflow.
+"""
+
+from repro.obs.breakdown import (
+    default_grouper,
+    format_breakdown,
+    group_of,
+    node_utilization_rows,
+    records_of,
+    summarize_records,
+)
+from repro.obs.chrome_trace import chrome_trace, write_chrome_trace
+from repro.obs.events import (
+    BroadcastSent,
+    Event,
+    EventBus,
+    MemoryAllocated,
+    MemoryFreed,
+    MemoryOOM,
+    MemorySpilled,
+    NetworkTransfer,
+    ObjectGet,
+    ObjectPut,
+    S3Download,
+    SpanClosed,
+    SpanOpened,
+    TaskFailed,
+    TaskFinished,
+    TaskPlaced,
+    TaskQueued,
+    TaskStarted,
+)
+from repro.obs.metrics import (
+    ClusterMetrics,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.spans import Observability, Span, SpanStore, TaskRecord
+
+__all__ = [
+    "BroadcastSent",
+    "ClusterMetrics",
+    "Counter",
+    "Event",
+    "EventBus",
+    "Gauge",
+    "Histogram",
+    "MemoryAllocated",
+    "MemoryFreed",
+    "MemoryOOM",
+    "MemorySpilled",
+    "MetricsRegistry",
+    "NetworkTransfer",
+    "ObjectGet",
+    "ObjectPut",
+    "Observability",
+    "S3Download",
+    "Span",
+    "SpanClosed",
+    "SpanOpened",
+    "SpanStore",
+    "TaskFailed",
+    "TaskFinished",
+    "TaskPlaced",
+    "TaskQueued",
+    "TaskRecord",
+    "TaskStarted",
+    "chrome_trace",
+    "default_grouper",
+    "format_breakdown",
+    "group_of",
+    "node_utilization_rows",
+    "records_of",
+    "summarize_records",
+    "write_chrome_trace",
+]

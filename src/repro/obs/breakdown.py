@@ -1,0 +1,184 @@
+"""Per-group "where did the time go" summaries of a simulated run.
+
+Grouping prefers explicit structure: a task recorded under a span is
+attributed to that span's name.  Tasks recorded outside any span fall
+back to the name-prefix heuristic that ``harness.tracing`` has always
+used, so hand-built clusters summarize exactly as before.
+"""
+
+from collections import defaultdict
+
+from repro.obs.spans import TaskRecord
+
+
+def default_grouper(name):
+    """Group task names by their engine/stage prefix.
+
+    ``spark-stage3-part7`` -> ``spark-stage3``; ``dask-denoise_one-42``
+    -> ``dask-denoise_one``; anything without digits groups as itself.
+    """
+    parts = name.split("-")
+    while parts and parts[-1].isdigit():
+        parts.pop()
+    head = "-".join(parts) if parts else name
+    return head.rstrip("0123456789")
+
+
+def records_of(cluster):
+    """Task records of a cluster, span-tagged when available."""
+    obs = getattr(cluster, "obs", None)
+    if obs is not None:
+        return list(obs.task_records)
+    # Pre-observability clusters: synthesize span-less records.
+    return [
+        TaskRecord(name, node, start, end)
+        for name, node, start, end in cluster.task_trace
+    ]
+
+
+def group_of(record, grouper=None):
+    """The attribution group of one record.
+
+    An explicit ``grouper`` always wins; otherwise the enclosing span's
+    name, falling back to :func:`default_grouper` on the task name.
+    """
+    if grouper is not None:
+        return grouper(record.name)
+    if record.span is not None:
+        return record.span.name
+    return default_grouper(record.name)
+
+
+def summarize_records(records, grouper=None):
+    """Aggregate task records into per-group totals.
+
+    Returns rows sorted by descending busy time: ``{"group", "busy_s",
+    "tasks", "first_start", "last_end", "mean_task_s", "max_task_s"}``.
+    """
+    busy = defaultdict(float)
+    count = defaultdict(int)
+    first = {}
+    last = {}
+    longest = defaultdict(float)
+    for record in records:
+        group = group_of(record, grouper)
+        duration = record.end - record.start
+        busy[group] += duration
+        count[group] += 1
+        first[group] = min(first.get(group, record.start), record.start)
+        last[group] = max(last.get(group, record.end), record.end)
+        longest[group] = max(longest[group], duration)
+    rows = [
+        {
+            "group": group,
+            "busy_s": busy[group],
+            "tasks": count[group],
+            "first_start": first[group],
+            "last_end": last[group],
+            "mean_task_s": busy[group] / count[group],
+            "max_task_s": longest[group],
+        }
+        for group in busy
+    ]
+    rows.sort(key=lambda r: -r["busy_s"])
+    return rows
+
+
+def node_utilization_rows(cluster):
+    """Per-node busy fraction of the elapsed simulated time."""
+    if cluster.now == 0:
+        return []
+    busy = defaultdict(float)
+    for record in records_of(cluster):
+        busy[record.node] += record.end - record.start
+    return [
+        {
+            "node": name,
+            "utilization": busy.get(name, 0.0)
+            / (cluster.now * cluster.spec.slots_per_node),
+        }
+        for name in cluster.node_order
+    ]
+
+
+def _fmt_bytes(nbytes):
+    """Human-scale byte rendering (GB/MB/KB/B)."""
+    for unit, scale in (("GB", 1024 ** 3), ("MB", 1024 ** 2), ("KB", 1024)):
+        if nbytes >= scale:
+            return f"{nbytes / scale:.2f} {unit}"
+    return f"{nbytes} B"
+
+
+def format_breakdown(cluster, metrics=None, top=12):
+    """Plain-text "where did the time go" report for one run.
+
+    Sections: per-group busy time with shares, data-movement totals
+    from the network model, and per-node peaks from the cluster's node
+    summaries.  ``metrics`` (a
+    :class:`~repro.obs.metrics.ClusterMetrics`) adds straggler spread
+    columns when provided.
+    """
+    lines = []
+    elapsed = cluster.now
+    rows = summarize_records(records_of(cluster))
+    total_busy = sum(r["busy_s"] for r in rows) or 1.0
+    lines.append(
+        f"Where did the time go ({elapsed:.1f} simulated s,"
+        f" utilization {cluster.utilization():.0%}):"
+    )
+    width = max([len(r["group"]) for r in rows[:top]] + [5])
+    lines.append(
+        f"  {'group'.ljust(width)}  {'busy_s':>10}  {'share':>6}"
+        f"  {'tasks':>6}  {'max_task_s':>10}"
+    )
+    for row in rows[:top]:
+        lines.append(
+            f"  {row['group'].ljust(width)}  {row['busy_s']:>10.1f}"
+            f"  {row['busy_s'] / total_busy:>6.1%}  {row['tasks']:>6}"
+            f"  {row['max_task_s']:>10.2f}"
+        )
+    if len(rows) > top:
+        rest = sum(r["busy_s"] for r in rows[top:])
+        lines.append(
+            f"  {'(other groups)'.ljust(width)}  {rest:>10.1f}"
+            f"  {rest / total_busy:>6.1%}"
+            f"  {sum(r['tasks'] for r in rows[top:]):>6}"
+        )
+
+    network = cluster.network
+    lines.append("Data movement:")
+    lines.append(
+        f"  node-to-node  {_fmt_bytes(network.bytes_node_to_node)}"
+        f"  (broadcast wire {_fmt_bytes(network.bytes_broadcast)})"
+    )
+    lines.append(f"  s3 ingest     {_fmt_bytes(network.bytes_from_s3)}")
+    spilled = sum(n.memory.spilled_bytes for n in cluster.nodes.values())
+    lines.append(f"  memory spill  {_fmt_bytes(spilled)}")
+
+    lines.append("Per-node:")
+    lines.append(
+        f"  {'node':<10}  {'peak_mem':>10}  {'busy_s':>10}  {'util':>6}"
+        f"  {'oom':>4}  {'spilled':>10}"
+    )
+    util = {r["node"]: r["utilization"] for r in node_utilization_rows(cluster)}
+    for summary in cluster.node_summaries():
+        lines.append(
+            f"  {summary['node']:<10}"
+            f"  {_fmt_bytes(summary['peak_memory_bytes']):>10}"
+            f"  {summary['busy_seconds']:>10.1f}"
+            f"  {util.get(summary['node'], 0.0):>6.1%}"
+            f"  {summary['oom_count']:>4}"
+            f"  {_fmt_bytes(summary['spilled_bytes']):>10}"
+        )
+
+    if metrics is not None:
+        stragglers = [r for r in metrics.straggler_rows() if r["tasks"] > 1]
+        if stragglers:
+            lines.append("Straggler spread (max/mean per group):")
+            for row in stragglers[:5]:
+                lines.append(
+                    f"  {row['group']:<{width}}  mean {row['mean_s']:.2f}s"
+                    f"  p95 {row['p95_s']:.2f}s  max {row['max_s']:.2f}s"
+                    f"  skew {row['skew']:.1f}x"
+                )
+    return "\n".join(lines)

@@ -1,0 +1,122 @@
+"""Chrome ``trace_event`` export of a simulated run.
+
+Produces the JSON object format understood by ``chrome://tracing`` and
+Perfetto: one process per node (tasks as complete "X" events in greedy
+lanes), one extra process for engine spans (nesting depth as the
+thread id), and optional per-node memory counter tracks.
+
+Virtual-clock seconds map to trace microseconds.
+"""
+
+import json
+
+from repro.obs.breakdown import records_of
+
+#: Tolerance when packing tasks into lanes: ends and starts produced by
+#: float arithmetic may differ in the last ulp.
+_LANE_EPSILON = 1e-9
+
+SPAN_PROCESS_NAME = "engine spans"
+
+
+def chrome_trace(cluster, metrics=None):
+    """Build the trace document (a JSON-ready dict) for one cluster.
+
+    ``metrics`` (a :class:`~repro.obs.metrics.ClusterMetrics` attached
+    before the run) adds per-node ``memory used`` counter tracks.
+    """
+    events = []
+    pids = {name: pid for pid, name in enumerate(cluster.node_order)}
+    span_pid = len(pids)
+    for name, pid in pids.items():
+        events.append(_process_name(pid, name))
+    events.append(_process_name(span_pid, SPAN_PROCESS_NAME))
+
+    # Tasks: one lane (tid) per concurrent slot, packed greedily.
+    lanes = {name: [] for name in pids}
+    ordered = sorted(
+        records_of(cluster), key=lambda r: (r.start, r.end, r.name)
+    )
+    for record in ordered:
+        lane_ends = lanes[record.node]
+        for tid, lane_end in enumerate(lane_ends):
+            if lane_end <= record.start + _LANE_EPSILON:
+                lane_ends[tid] = record.end
+                break
+        else:
+            tid = len(lane_ends)
+            lane_ends.append(record.end)
+        events.append(
+            {
+                "name": record.name,
+                "cat": record.span.name if record.span is not None else "task",
+                "ph": "X",
+                "ts": record.start * 1e6,
+                "dur": (record.end - record.start) * 1e6,
+                "pid": pids[record.node],
+                "tid": tid,
+            }
+        )
+
+    # Spans: nesting depth as the thread id keeps parents above children.
+    obs = getattr(cluster, "obs", None)
+    spans = obs.spans.spans if obs is not None else []
+    for span in spans:
+        end = span.end if span.end is not None else cluster.now
+        args = {"parent": span.parent.name if span.parent else None}
+        args.update(span.attrs)
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.category or "span",
+                "ph": "X",
+                "ts": span.start * 1e6,
+                "dur": (end - span.start) * 1e6,
+                "pid": span_pid,
+                "tid": span.depth,
+                "args": args,
+            }
+        )
+
+    # Memory counter tracks, when a metrics aggregator was listening.
+    if metrics is not None:
+        for node, series in sorted(metrics.memory_series.items()):
+            for time, used in series:
+                events.append(
+                    {
+                        "name": "memory used",
+                        "ph": "C",
+                        "ts": time * 1e6,
+                        "pid": pids.get(node, span_pid),
+                        "tid": 0,
+                        "args": {"bytes": used},
+                    }
+                )
+
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "elapsed_simulated_s": cluster.now,
+            "nodes": len(cluster.node_order),
+            "slots_per_node": cluster.spec.slots_per_node,
+        },
+    }
+
+
+def write_chrome_trace(cluster, path, metrics=None):
+    """Serialize :func:`chrome_trace` to ``path``; returns the path."""
+    document = chrome_trace(cluster, metrics=metrics)
+    with open(path, "w") as fh:
+        json.dump(document, fh, indent=1, sort_keys=True)
+    return path
+
+
+def _process_name(pid, name):
+    return {
+        "name": "process_name",
+        "ph": "M",
+        "pid": pid,
+        "tid": 0,
+        "args": {"name": name},
+    }

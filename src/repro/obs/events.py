@@ -1,0 +1,216 @@
+"""Typed lifecycle events and the cluster event bus.
+
+Every event carries its virtual-clock ``time``.  Emission sites follow
+the guard idiom::
+
+    bus = cluster.obs.events
+    if bus:
+        bus.emit(TaskStarted(cluster.now, ...))
+
+``EventBus.__bool__`` is false while nobody is subscribed, so with no
+subscribers neither the event object nor any of its fields are ever
+constructed -- the zero-overhead requirement that keeps simulated
+durations bit-identical whether or not a run is being observed.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base class: anything that happened at a virtual-clock instant."""
+
+    time: float
+
+
+# -- task lifecycle ----------------------------------------------------
+
+@dataclass(frozen=True)
+class TaskQueued(Event):
+    """A task entered the executor's pending set."""
+
+    name: str
+    task_id: int
+
+
+@dataclass(frozen=True)
+class TaskPlaced(Event):
+    """The scheduler chose a node for a task."""
+
+    name: str
+    task_id: int
+    node: str
+
+
+@dataclass(frozen=True)
+class TaskStarted(Event):
+    """A task began occupying a slot."""
+
+    name: str
+    task_id: int
+    node: str
+
+
+@dataclass(frozen=True)
+class TaskFinished(Event):
+    """A task released its slot; ``time - start`` is its duration."""
+
+    name: str
+    task_id: int
+    node: str
+    start: float
+
+
+@dataclass(frozen=True)
+class TaskFailed(Event):
+    """A task's function raised (rewrapped as ``TaskFailedError``)."""
+
+    name: str
+    task_id: int
+    node: str
+    error: str
+
+
+# -- data movement -----------------------------------------------------
+
+@dataclass(frozen=True)
+class NetworkTransfer(Event):
+    """Bytes priced for a point-to-point move (``src == dst`` = memcpy)."""
+
+    nbytes: int
+    src: str
+    dst: str
+    seconds: float
+
+
+@dataclass(frozen=True)
+class BroadcastSent(Event):
+    """A tree broadcast of ``nbytes`` payload to ``n_nodes`` nodes."""
+
+    nbytes: int
+    n_nodes: int
+    seconds: float
+
+
+@dataclass(frozen=True)
+class S3Download(Event):
+    """One node pulled ``nbytes`` from the object store."""
+
+    nbytes: int
+    n_objects: int
+    seconds: float
+
+
+# -- memory ------------------------------------------------------------
+
+@dataclass(frozen=True)
+class MemoryAllocated(Event):
+    """A node reserved ``nbytes``; ``used_bytes`` is the new total."""
+
+    node: str
+    nbytes: int
+    used_bytes: int
+    label: str
+
+
+@dataclass(frozen=True)
+class MemoryFreed(Event):
+    """A node released ``nbytes``; ``used_bytes`` is the new total."""
+
+    node: str
+    nbytes: int
+    used_bytes: int
+
+
+@dataclass(frozen=True)
+class MemorySpilled(Event):
+    """Bytes that did not fit in memory and went through local disk."""
+
+    node: str
+    nbytes: int
+    label: str
+
+
+@dataclass(frozen=True)
+class MemoryOOM(Event):
+    """An allocation was refused (the "fail" admission policy)."""
+
+    node: str
+    requested: int
+    available: int
+    label: str
+
+
+# -- object store ------------------------------------------------------
+
+@dataclass(frozen=True)
+class ObjectPut(Event):
+    """An object was uploaded to the S3-like store."""
+
+    bucket: str
+    key: str
+    nbytes: int
+
+
+@dataclass(frozen=True)
+class ObjectGet(Event):
+    """An object was read from the S3-like store."""
+
+    bucket: str
+    key: str
+    nbytes: int
+
+
+# -- spans -------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SpanOpened(Event):
+    """An engine opened a named span (stage/query/barrier)."""
+
+    name: str
+    span_id: int
+    parent_id: int
+
+
+@dataclass(frozen=True)
+class SpanClosed(Event):
+    """A span ended; ``time - start`` is its wall-clock extent."""
+
+    name: str
+    span_id: int
+    start: float
+
+
+class EventBus:
+    """Synchronous fan-out of events to subscribers.
+
+    Falsy while no subscriber is attached, so emission sites can skip
+    event construction entirely (``if bus: bus.emit(...)``).
+    """
+
+    __slots__ = ("_subscribers",)
+
+    def __init__(self):
+        self._subscribers = []
+
+    def __bool__(self):
+        return bool(self._subscribers)
+
+    def subscribe(self, handler):
+        """Register ``handler(event)``; returns it for later removal."""
+        if not callable(handler):
+            raise TypeError(f"handler must be callable, got {handler!r}")
+        self._subscribers.append(handler)
+        return handler
+
+    def unsubscribe(self, handler):
+        """Remove a previously subscribed handler."""
+        try:
+            self._subscribers.remove(handler)
+        except ValueError:
+            raise KeyError(f"handler {handler!r} is not subscribed") from None
+
+    def emit(self, event):
+        """Deliver one event to every subscriber, in subscription order."""
+        for handler in self._subscribers:
+            handler(event)

@@ -1,0 +1,170 @@
+"""Span-based tracing: named, nested extents of engine work.
+
+Engines wrap logical units (a Spark stage, a Myria statement, a Dask
+barrier) in spans::
+
+    with cluster.obs.span("spark-stage0", category="spark"):
+        cluster.run(tasks)
+
+Because the simulator is single-threaded and synchronous, the stack of
+currently-open spans is a faithful parent chain: every task recorded
+while a span is open belongs to it, which replaces the old
+name-prefix-grouping heuristic with explicit structure.
+"""
+
+from contextlib import contextmanager
+
+from repro.obs.events import SpanClosed, SpanOpened
+
+
+class Span:
+    """One named extent of simulated time, with a parent link."""
+
+    __slots__ = ("span_id", "name", "category", "parent", "start", "end", "attrs")
+
+    def __init__(self, span_id, name, start, category=None, parent=None,
+                 attrs=None):
+        self.span_id = span_id
+        self.name = name
+        self.category = category
+        self.parent = parent
+        self.start = start
+        self.end = None
+        self.attrs = dict(attrs or {})
+
+    @property
+    def parent_id(self):
+        """Parent span id, or -1 at the root."""
+        return self.parent.span_id if self.parent is not None else -1
+
+    @property
+    def duration(self):
+        """Simulated seconds covered; ``None`` while still open."""
+        return None if self.end is None else self.end - self.start
+
+    @property
+    def depth(self):
+        """Nesting depth (0 for root spans)."""
+        depth = 0
+        span = self.parent
+        while span is not None:
+            depth += 1
+            span = span.parent
+        return depth
+
+    def __repr__(self):
+        state = "open" if self.end is None else f"{self.duration:.3f}s"
+        return f"Span({self.name!r}, {state})"
+
+
+class SpanStore:
+    """All spans of one cluster, plus the stack of open ones."""
+
+    def __init__(self):
+        self.spans = []
+        self._stack = []
+        self._next_id = 0
+
+    def open(self, name, time, category=None, attrs=None):
+        """Open a span at ``time``, nested under the current one."""
+        span = Span(
+            self._next_id, name, time, category=category,
+            parent=self.current(), attrs=attrs,
+        )
+        self._next_id += 1
+        self.spans.append(span)
+        self._stack.append(span)
+        return span
+
+    def close(self, span, time):
+        """Close ``span`` at ``time``; spans must close innermost-first."""
+        if not self._stack or self._stack[-1] is not span:
+            raise RuntimeError(
+                f"span {span.name!r} closed out of order"
+            )
+        self._stack.pop()
+        span.end = time
+
+    def current(self):
+        """The innermost open span, or ``None``."""
+        return self._stack[-1] if self._stack else None
+
+    def clear(self):
+        """Drop all spans (between benchmark trials on one cluster)."""
+        self.spans.clear()
+        self._stack.clear()
+
+    def __len__(self):
+        return len(self.spans)
+
+
+class TaskRecord:
+    """One executed task, tagged with the span it ran under."""
+
+    __slots__ = ("name", "node", "start", "end", "span")
+
+    def __init__(self, name, node, start, end, span=None):
+        self.name = name
+        self.node = node
+        self.start = start
+        self.end = end
+        self.span = span
+
+    @property
+    def duration(self):
+        """Simulated seconds the task occupied its slot."""
+        return self.end - self.start
+
+    def __repr__(self):
+        return (
+            f"TaskRecord({self.name!r} on {self.node},"
+            f" {self.start:.3f}-{self.end:.3f})"
+        )
+
+
+class Observability:
+    """Per-cluster observability state: event bus, spans, task records.
+
+    Owned by :class:`~repro.cluster.cluster.SimulatedCluster` as
+    ``cluster.obs``; engines only ever need :meth:`span`, consumers
+    subscribe to ``obs.events`` or read ``obs.task_records`` after a
+    run.
+    """
+
+    def __init__(self, clock):
+        from repro.obs.events import EventBus
+
+        self.clock = clock
+        self.events = EventBus()
+        self.spans = SpanStore()
+        self.task_records = []
+
+    @contextmanager
+    def span(self, name, category=None, **attrs):
+        """Open a named span for the duration of the ``with`` block."""
+        span = self.spans.open(
+            name, self.clock.now, category=category, attrs=attrs
+        )
+        if self.events:
+            self.events.emit(
+                SpanOpened(self.clock.now, name, span.span_id, span.parent_id)
+            )
+        try:
+            yield span
+        finally:
+            self.spans.close(span, self.clock.now)
+            if self.events:
+                self.events.emit(
+                    SpanClosed(self.clock.now, name, span.span_id, span.start)
+                )
+
+    def record_task(self, name, node, start, end):
+        """Record one executed task under the currently-open span."""
+        self.task_records.append(
+            TaskRecord(name, node, start, end, self.spans.current())
+        )
+
+    def reset(self):
+        """Drop spans and records (used by ``cluster.reset_clock``)."""
+        self.spans.clear()
+        self.task_records.clear()

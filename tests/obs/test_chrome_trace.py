@@ -1,0 +1,124 @@
+"""Chrome trace_event export: golden file and structural validity.
+
+The golden file pins the exporter's output for a miniature neuro run
+(1 subject, 2 nodes, Spark).  The simulator is deterministic, so any
+diff is a real behavior change; regenerate intentionally with::
+
+    REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/obs/test_chrome_trace.py
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.harness import experiments as E
+from repro.harness.runner import neuro_subjects, observe_clusters
+from repro.obs import ClusterMetrics, chrome_trace, write_chrome_trace
+
+GOLDEN = Path(__file__).parent / "golden" / "tiny-neuro-trace.json"
+
+#: Small enough that the golden file stays reviewable.
+TINY_PROFILE = {"scale": 12, "n_volumes": 12}
+
+
+@pytest.fixture(scope="module")
+def tiny_neuro_run():
+    """One observed miniature neuro run: ``(cluster, metrics)``."""
+    captured = []
+
+    def observer(cluster):
+        captured.append((cluster, ClusterMetrics.attach(cluster)))
+
+    with observe_clusters(observer):
+        E.run_neuro_end_to_end(
+            "spark", neuro_subjects(1, **TINY_PROFILE), n_nodes=2
+        )
+    assert len(captured) == 1
+    return captured[0]
+
+
+def test_golden_trace(tiny_neuro_run):
+    cluster, metrics = tiny_neuro_run
+    # Round-trip through JSON so tuples/containers normalize exactly as
+    # write_chrome_trace would serialize them.
+    document = json.loads(json.dumps(chrome_trace(cluster, metrics=metrics)))
+    if os.environ.get("REGEN_GOLDEN"):
+        GOLDEN.write_text(json.dumps(document, indent=1, sort_keys=True) + "\n")
+    golden = json.loads(GOLDEN.read_text())
+    assert document == golden
+
+
+def test_trace_structure_valid(tiny_neuro_run):
+    cluster, metrics = tiny_neuro_run
+    document = chrome_trace(cluster, metrics=metrics)
+    events = document["traceEvents"]
+    assert events
+    assert set(document) == {"traceEvents", "displayTimeUnit", "otherData"}
+
+    n_nodes = document["otherData"]["nodes"]
+    span_pid = n_nodes  # one process per node, then the span process
+    for event in events:
+        assert event["ph"] in ("M", "X", "C")
+        assert 0 <= event["pid"] <= span_pid
+        if event["ph"] == "X":
+            assert event["ts"] >= 0
+            assert event["dur"] >= 0
+            assert event["ts"] + event["dur"] <= cluster.now * 1e6 + 1e-3
+
+    # Metadata names every process.
+    named = {e["pid"] for e in events if e["ph"] == "M"}
+    assert named == set(range(span_pid + 1))
+
+    # Task lanes never overlap within one (pid, tid) track.
+    tracks = {}
+    for event in events:
+        if event["ph"] == "X" and event["pid"] < n_nodes:
+            tracks.setdefault((event["pid"], event["tid"]), []).append(
+                (event["ts"], event["ts"] + event["dur"])
+            )
+    for intervals in tracks.values():
+        intervals.sort()
+        for (_, prev_end), (start, _) in zip(intervals, intervals[1:]):
+            assert start >= prev_end - 1e-3
+
+    # Spans made it into their dedicated process.
+    span_events = [
+        e for e in events if e["ph"] == "X" and e["pid"] == span_pid
+    ]
+    assert span_events
+    assert all(e["name"].startswith("spark-stage") for e in span_events)
+
+
+def test_tiny_run_metrics_nonzero(tiny_neuro_run):
+    cluster, metrics = tiny_neuro_run
+    assert metrics.s3_bytes > 0
+    assert metrics.shuffle_bytes > 0
+    for node in cluster.node_order:
+        assert metrics.peak_memory(node) > 0
+        assert cluster.nodes[node].memory.peak_bytes == metrics.peak_memory(node)
+    rows = cluster.node_summaries()
+    assert all(row["peak_memory_bytes"] > 0 for row in rows)
+
+
+def test_write_chrome_trace_roundtrip(tiny_neuro_run, tmp_path):
+    cluster, metrics = tiny_neuro_run
+    path = write_chrome_trace(
+        cluster, tmp_path / "trace.json", metrics=metrics
+    )
+    document = json.loads(Path(path).read_text())
+    assert document["traceEvents"]
+
+
+def test_end_to_end_unobserved_is_bit_identical():
+    """Acceptance: no subscribers => durations identical to observed run."""
+    subjects = neuro_subjects(1, **TINY_PROFILE)
+    plain = E.run_neuro_end_to_end("spark", subjects, n_nodes=2)
+
+    def observer(cluster):
+        ClusterMetrics.attach(cluster)
+
+    with observe_clusters(observer):
+        observed = E.run_neuro_end_to_end("spark", subjects, n_nodes=2)
+    assert plain == observed

@@ -1,0 +1,157 @@
+"""Event bus: subscription semantics and lifecycle-event ordering."""
+
+import pytest
+
+from repro.cluster import ClusterSpec, SimulatedCluster, Task
+from repro.obs.events import (
+    EventBus,
+    MemoryAllocated,
+    MemoryFreed,
+    TaskFinished,
+    TaskPlaced,
+    TaskQueued,
+    TaskStarted,
+)
+
+MB = 1024 ** 2
+
+
+@pytest.fixture
+def cluster():
+    return SimulatedCluster(ClusterSpec(n_nodes=2))
+
+
+def collect(cluster):
+    """Subscribe a list-appending handler; returns the list."""
+    seen = []
+    cluster.obs.events.subscribe(seen.append)
+    return seen
+
+
+# ---------------------------------------------------------------- EventBus
+
+
+def test_bus_falsy_without_subscribers():
+    bus = EventBus()
+    assert not bus
+    handler = bus.subscribe(lambda e: None)
+    assert bus
+    bus.unsubscribe(handler)
+    assert not bus
+
+
+def test_bus_rejects_non_callable():
+    with pytest.raises(TypeError):
+        EventBus().subscribe("not a handler")
+
+
+def test_unsubscribe_unknown_handler_raises():
+    with pytest.raises(KeyError):
+        EventBus().unsubscribe(lambda e: None)
+
+
+def test_emit_calls_subscribers_in_order():
+    bus = EventBus()
+    order = []
+    bus.subscribe(lambda e: order.append(("first", e)))
+    bus.subscribe(lambda e: order.append(("second", e)))
+    event = TaskQueued(0.0, "t", 1)
+    bus.emit(event)
+    assert order == [("first", event), ("second", event)]
+
+
+# ------------------------------------------------------- lifecycle events
+
+
+def test_task_lifecycle_event_order(cluster):
+    seen = collect(cluster)
+    a = Task("a", fn=lambda: 1, duration=1.0)
+    b = Task("b", fn=lambda x: x + 1, args=(a,), duration=2.0)
+    cluster.run([b])
+
+    by_task = {}
+    for event in seen:
+        if isinstance(event, (TaskQueued, TaskPlaced, TaskStarted, TaskFinished)):
+            by_task.setdefault(event.task_id, []).append(event)
+
+    assert set(by_task) == {a.task_id, b.task_id}
+    for task_id, events in by_task.items():
+        kinds = [type(e) for e in events]
+        assert kinds == [TaskQueued, TaskPlaced, TaskStarted, TaskFinished]
+        times = [e.time for e in events]
+        assert times == sorted(times)
+    # The dependency order is visible in the event stream: a finishes
+    # before b starts.
+    a_finish = next(e for e in by_task[a.task_id] if isinstance(e, TaskFinished))
+    b_start = next(e for e in by_task[b.task_id] if isinstance(e, TaskStarted))
+    assert a_finish.time <= b_start.time
+
+
+def test_event_times_non_decreasing(cluster):
+    seen = collect(cluster)
+    tasks = [Task(f"t{i}", duration=float(i % 3 + 1)) for i in range(20)]
+    cluster.run(tasks)
+    times = [e.time for e in seen]
+    assert times == sorted(times)
+
+
+def test_queued_events_sorted_by_task_id(cluster):
+    seen = collect(cluster)
+    tasks = [Task(f"t{i}", duration=1.0) for i in range(8)]
+    # Submit in reverse; queue events still arrive in task-id order.
+    cluster.run(list(reversed(tasks)))
+    queued = [e.task_id for e in seen if isinstance(e, TaskQueued)]
+    assert queued == sorted(queued)
+
+
+def test_finished_event_carries_start_time(cluster):
+    seen = collect(cluster)
+    t = Task("t", duration=3.0)
+    cluster.run([t])
+    finished = next(e for e in seen if isinstance(e, TaskFinished))
+    assert finished.start == 0.0
+    assert finished.time == 3.0
+
+
+# ---------------------------------------------------------- memory events
+
+
+def test_memory_allocate_free_pairing(cluster):
+    seen = collect(cluster)
+    t = Task("big", duration=1.0, memory_bytes=64 * MB)
+    cluster.run([t])
+    allocs = [e for e in seen if isinstance(e, MemoryAllocated)]
+    frees = [e for e in seen if isinstance(e, MemoryFreed)]
+    assert len(allocs) == 1 and len(frees) == 1
+    assert allocs[0].nbytes == frees[0].nbytes == 64 * MB
+    assert allocs[0].node == frees[0].node
+    assert allocs[0].time <= frees[0].time
+    # The tracker level returns to zero after the free.
+    assert frees[0].used_bytes == 0
+
+
+# ------------------------------------------------------- zero-subscriber
+
+
+def test_no_subscriber_run_keeps_bus_falsy(cluster):
+    tasks = [Task(f"t{i}", duration=1.0, memory_bytes=MB) for i in range(4)]
+    cluster.run(tasks)
+    assert not cluster.obs.events
+    # Task records still accumulate (they feed summarize_trace).
+    assert len(cluster.obs.task_records) == 4
+
+
+def test_observer_does_not_change_simulated_time():
+    """Attaching a subscriber must not perturb any modeled duration."""
+    def run(observed):
+        cluster = SimulatedCluster(ClusterSpec(n_nodes=2))
+        if observed:
+            cluster.obs.events.subscribe(lambda e: None)
+        a = Task("a", duration=1.25, memory_bytes=8 * MB, output_bytes=4 * MB)
+        b = Task("b", fn=lambda x: x, args=(a,), duration=0.75,
+                 memory_bytes=8 * MB)
+        tasks = [b] + [Task(f"t{i}", duration=1.0) for i in range(20)]
+        cluster.run(tasks)
+        return cluster.now
+
+    assert run(observed=False) == run(observed=True)
