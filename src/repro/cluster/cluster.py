@@ -84,6 +84,10 @@ class SimulatedCluster:
         self.completed = {}
         self.task_trace = []
         self._start_times = {}
+        #: task_id -> scheduling bookkeeping (queued/ready times, memory
+        #: deferrals, transfer/compute/spill split) feeding the task
+        #: records that critical-path analysis consumes.
+        self._sched_info = {}
 
     # ------------------------------------------------------------------
     # Convenience accessors
@@ -110,14 +114,15 @@ class SimulatedCluster:
         """Value produced by ``task`` in a previous :meth:`run` call."""
         return self.completed[task.task_id].value
 
-    def charge_master(self, seconds, label="coordinator work"):
+    def charge_master(self, seconds, label="coordinator work", category=None):
         """Advance the clock for serial coordinator-side work."""
         if seconds < 0:
             raise ValueError(f"cannot charge negative time: {seconds}")
         self.clock.advance_by(seconds)
         start = self.now - seconds
         self.task_trace.append((label, self.master, start, self.now))
-        self.obs.record_task(label, self.master, start, self.now)
+        self.obs.record_task(label, self.master, start, self.now,
+                             category=category)
 
     # ------------------------------------------------------------------
     # The executor
@@ -157,6 +162,11 @@ class SimulatedCluster:
                     )
                 dependents.setdefault(dep.task_id, []).append(task)
             waiting_deps[task.task_id] = len(open_deps)
+            self._sched_info[task.task_id] = {
+                "queued": self.now,
+                "ready": self.now if not open_deps else None,
+                "mem_deferred": False,
+            }
             if not open_deps:
                 ready.append(task)
         # FIFO by task id keeps scheduling deterministic.
@@ -185,6 +195,7 @@ class SimulatedCluster:
                 started = self._try_start(task, node, events)
                 if started is None:
                     # Memory admission deferred the task.
+                    self._sched_info[task.task_id]["mem_deferred"] = True
                     oom_waiting.append(task)
             ready[:] = still_ready
 
@@ -209,7 +220,20 @@ class SimulatedCluster:
                 self.completed[task.task_id] = result
                 run_results[task.task_id] = result
                 self.task_trace.append((task.name, node.name, result.start_time, time))
-                self.obs.record_task(task.name, node.name, result.start_time, time)
+                info = self._sched_info.get(task.task_id, {})
+                self.obs.record_task(
+                    task.name, node.name, result.start_time, time,
+                    task_id=task.task_id,
+                    category=task.category,
+                    queued=info.get("queued"),
+                    ready=info.get("ready"),
+                    not_before=task.not_before,
+                    mem_deferred=info.get("mem_deferred", False),
+                    transfer_s=info.get("transfer_s", 0.0),
+                    compute_s=info.get("compute_s"),
+                    spill_s=info.get("spill_s", 0.0),
+                    dep_ids=tuple(d.task_id for d in task.dependencies()),
+                )
                 if bus:
                     bus.emit(
                         TaskFinished(
@@ -220,6 +244,7 @@ class SimulatedCluster:
                 for child in dependents.get(task.task_id, ()):
                     waiting_deps[child.task_id] -= 1
                     if waiting_deps[child.task_id] == 0:
+                        self._sched_info[child.task_id]["ready"] = time
                         ready.append(child)
                 ready.sort(key=lambda t: t.task_id)
                 # Retry memory-deferred tasks now that memory may have freed.
@@ -340,9 +365,16 @@ class SimulatedCluster:
             duration = float(task.duration(*resolved_args, **resolved_kwargs))
         else:
             duration = float(task.duration)
+        compute_seconds = duration
         if spill_bytes > 0:
             duration += self.cost_model.disk_write_time(spill_bytes)
             duration += self.cost_model.disk_read_time(spill_bytes)
+
+        info = self._sched_info.get(task.task_id)
+        if info is not None:
+            info["transfer_s"] = transfer
+            info["compute_s"] = compute_seconds
+            info["spill_s"] = duration - compute_seconds
 
         start = self.now
         end = start + transfer + duration

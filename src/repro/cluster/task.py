@@ -46,6 +46,10 @@ class Task:
     not_before:
         Earliest simulated time the task may start, even if a slot is
         free (models serialized dispatch by central schedulers/masters).
+    category:
+        Blame-attribution label for critical-path analysis (e.g.
+        ``"spark-denoise"``, ``"scidb-convert"``).  ``None`` falls back
+        to the name-prefix grouping heuristic.
     """
 
     __slots__ = (
@@ -61,6 +65,7 @@ class Task:
         "output_bytes",
         "on_oom",
         "not_before",
+        "category",
     )
 
     _OOM_POLICIES = ("fail", "wait", "spill")
@@ -78,6 +83,7 @@ class Task:
         output_bytes=0,
         on_oom="fail",
         not_before=0.0,
+        category=None,
     ):
         if on_oom not in self._OOM_POLICIES:
             raise ValueError(
@@ -99,6 +105,7 @@ class Task:
         self.output_bytes = int(output_bytes)
         self.on_oom = on_oom
         self.not_before = float(not_before)
+        self.category = category
 
     def dependencies(self):
         """All upstream tasks: explicit ``deps`` plus tasks in arguments."""

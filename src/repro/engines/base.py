@@ -118,7 +118,10 @@ class Engine:
             self._started = True
             cost = self.startup_cost()
             if cost > 0:
-                self.cluster.charge_master(cost, label=f"{self.name} startup")
+                self.cluster.charge_master(
+                    cost, label=f"{self.name} startup",
+                    category=f"{self.name.lower()}-startup",
+                )
 
     def __repr__(self):
         return f"{type(self).__name__}(nodes={self.spec.n_nodes})"

@@ -90,6 +90,7 @@ class DaskClient(Engine):
                     nbytes, self.cluster.master, placement
                 ),
                 label="dask scatter",
+                category="dask-scatter",
             )
             self._results[handle.key] = value
             self._result_nodes[handle.key] = placement
@@ -248,6 +249,7 @@ class DaskClient(Engine):
         def duration(*args, **kwargs):
             return fn.cost(*args, **kwargs) + steal_overhead
 
+        fn_name = getattr(fn, "name", None)
         task = Task(
             f"dask-{delayed_node.key}",
             fn=run,
@@ -256,5 +258,7 @@ class DaskClient(Engine):
             duration=duration,
             node=placement,
             not_before=not_before,
+            category=f"dask-{fn_name}"
+            if fn_name and fn_name != "<lambda>" else "dask-task",
         )
         return task

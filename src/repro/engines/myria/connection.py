@@ -156,6 +156,7 @@ class MyriaQuery:
             cluster.cost_model.unpickle_time(total)
             + cluster.network.transfer_time(total, "workers", "coordinator"),
             label="Myria collect",
+            category="myria-coordinator",
         )
         rows = [row for shard in intermediate.shards for row in shard]
         return Relation(name, Schema(intermediate.columns), rows)

@@ -222,6 +222,7 @@ class MyriaServer:
                     fn=run,
                     duration=duration,
                     node=self.worker_node(worker),
+                    category="myria-ingest",
                 )
             )
         with self.cluster.obs.span(
@@ -250,6 +251,7 @@ class MyriaServer:
             self.cluster.charge_master(
                 self.cluster.cost_model.myria_query_startup,
                 label="Myria query submit",
+                category="myria-coordinator",
             )
             try:
                 if chunks == 1:
@@ -440,6 +442,7 @@ class MyriaServer:
                     fn=run,
                     duration=cost,
                     node=self.worker_node(worker),
+                    category="myria-scan",
                 )
             )
         results = self.cluster.run(tasks)
@@ -488,6 +491,7 @@ class MyriaServer:
                     fn=run,
                     duration=cost,
                     node=self.worker_node(worker),
+                    category="myria-ingest",
                 )
             )
         results = self.cluster.run(tasks)
@@ -520,6 +524,7 @@ class MyriaServer:
                     small_bytes, self.cluster.spec.n_nodes
                 ),
                 label="Myria broadcast join",
+                category="myria-shuffle",
             )
             left_refs = large[2]
             right_refs = build_column_map(
@@ -613,6 +618,7 @@ class MyriaServer:
                     f"myria-shuffle-{label}-w{worker}",
                     duration=duration,
                     node=self.worker_node(worker),
+                    category="myria-shuffle",
                 )
             )
         self.cluster.run(tasks)
@@ -663,6 +669,7 @@ class MyriaServer:
                     fn=run,
                     duration=cost,
                     node=self.worker_node(worker),
+                    category=f"myria-{name}",
                 )
             )
         self.cluster.run(tasks)
@@ -737,6 +744,7 @@ class MyriaServer:
                     fn=run,
                     duration=cost,
                     node=self.worker_node(worker),
+                    category=f"myria-{name}",
                 )
             )
         self.cluster.run(tasks)
@@ -806,6 +814,7 @@ class MyriaServer:
                         f"myria-materialize-{intermediate.name}-w{worker}",
                         duration=cm.disk_write_time(nbytes) * self.workers_per_node,
                         node=self.worker_node(worker),
+                        category="myria-materialize",
                     )
                 )
             self.cluster.run(tasks)
@@ -820,6 +829,7 @@ class MyriaServer:
                     f"myria-read-{intermediate.name}-w{worker}",
                     duration=cm.disk_read_time(nbytes) * self.workers_per_node,
                     node=self.worker_node(worker),
+                    category="myria-materialize",
                 )
             )
         self.cluster.run(tasks)
@@ -858,6 +868,7 @@ class MyriaServer:
                         + cm.disk_write_time(nbytes) * self.workers_per_node
                     ),
                     node=self.worker_node(worker),
+                    category="myria-store",
                 )
             )
         self.cluster.run(tasks)

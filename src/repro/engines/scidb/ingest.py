@@ -23,11 +23,13 @@ def from_array(sdb, name, dims, real, nominal_bytes):
     sdb.ensure_started()
     # NIfTI -> NumPy conversion on the client.
     sdb.cluster.charge_master(
-        nominal_bytes / cm.nifti_parse_bandwidth, label="NIfTI->NumPy"
+        nominal_bytes / cm.nifti_parse_bandwidth, label="NIfTI->NumPy",
+        category="scidb-convert",
     )
     # Single-stream upload through the coordinator.
     sdb.cluster.charge_master(
-        nominal_bytes / cm.scidb_from_array_bandwidth, label="from_array upload"
+        nominal_bytes / cm.scidb_from_array_bandwidth,
+        label="from_array upload", category="scidb-ingest",
     )
     array = SciDBArray(name, dims, real)
     # Redistribution: the coordinator scatters chunks to the instances.
@@ -40,6 +42,7 @@ def from_array(sdb, name, dims, real, nominal_bytes):
                 f"scidb-scatter-{name}-{coords}",
                 duration=cm.disk_write_time(chunk_bytes) + cm.scidb_chunk_overhead,
                 node=sdb.instance_node(instance),
+                category="scidb-ingest",
             )
         )
     sdb.cluster.run(tasks)
@@ -69,6 +72,7 @@ def aio_input(sdb, name, dims, real, nominal_bytes, rank=None):
             duration=(nominal_bytes / n_nodes) / cm.nifti_parse_bandwidth
             + share / cm.csv_encode_bandwidth,
             node=node,
+            category="scidb-convert",
         )
         for node in sdb.cluster.node_order
     ]
@@ -84,6 +88,7 @@ def aio_input(sdb, name, dims, real, nominal_bytes, rank=None):
             duration=per_instance_csv / cm.scidb_aio_bandwidth
             + cm.disk_write_time(per_instance_binary),
             node=sdb.instance_node(instance),
+            category="scidb-ingest",
         )
         for instance in range(sdb.n_instances)
     ]

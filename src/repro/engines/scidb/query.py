@@ -125,6 +125,7 @@ class SciDBConnection(Engine):
                 fn=lambda coords=coords, payload=payload: work(coords, payload),
                 duration=duration,
                 node=self.instance_node(instance),
+                category=f"scidb-{label.split('-', 1)[0]}",
             )
         with self.cluster.obs.span(
             f"scidb-{label}", category="scidb", chunks=len(tasks),
@@ -251,6 +252,7 @@ class SciDBConnection(Engine):
         self.cluster.charge_master(
             self.cluster.network.transfer_time(reduce_bytes, "instances", "combine"),
             label="SciDB mean combine",
+            category="scidb-mean",
         )
 
         mean_real = array.real.mean(axis=axis) if array.real.size else array.real.sum(axis=axis)
@@ -495,6 +497,7 @@ class SciDBConnection(Engine):
                     f"scidb-{label}-{coords}",
                     duration=cm.disk_write_time(nbytes) + cm.scidb_chunk_overhead,
                     node=self.instance_node(instance),
+                    category="scidb-materialize",
                 )
             )
         if tasks:
@@ -514,6 +517,7 @@ class SciDBConnection(Engine):
                     duration=cm.disk_write_time(chunk_bytes) * spill
                     + cm.scidb_chunk_overhead,
                     node=self.instance_node(instance),
+                    category="scidb-materialize",
                 )
             )
         if tasks:

@@ -21,7 +21,9 @@ class Broadcast:
             self.nominal_bytes, sc.cluster.spec.n_nodes
         )
         serialize = sc.cluster.cost_model.pickle_time(self.nominal_bytes)
-        sc.cluster.charge_master(cost + serialize, label="broadcast")
+        sc.cluster.charge_master(
+            cost + serialize, label="broadcast", category="spark-broadcast"
+        )
 
     @property
     def value(self):

@@ -125,6 +125,7 @@ class RDD:
         self.sc.cluster.charge_master(
             self.sc.cluster.cost_model.python_boundary_time(total),
             label="collect",
+            category="spark-collect",
         )
         return records
 
@@ -151,6 +152,7 @@ class RDD:
                             nominal_bytes_of(out)
                         ),
                         label="take",
+                        category="spark-collect",
                     )
                     return out
         self.sc.cluster.charge_master(
@@ -158,6 +160,7 @@ class RDD:
                 sum(p.nominal_bytes for p in partitions)
             ),
             label="take",
+            category="spark-collect",
         )
         return out
 

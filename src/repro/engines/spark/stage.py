@@ -163,6 +163,19 @@ class SparkScheduler:
 
     # -- stage bodies ---------------------------------------------------
 
+    def _stage_category(self, plan, default):
+        """Blame category of a stage's tasks.
+
+        Named after the last costed narrow op fused into the stage
+        (``spark-denoise``), so per-step blame survives stage-number
+        churn; stages with only anonymous ops fall back to ``default``.
+        """
+        for op in reversed(plan.narrow_ops):
+            name = getattr(op.fn, "name", None)
+            if name and name != "<lambda>":
+                return f"spark-{name}"
+        return default
+
     def _apply_narrow(self, records, narrow_ops):
         """Run the fused narrow chain over a record list.
 
@@ -216,6 +229,7 @@ class SparkScheduler:
         n = base.num_partitions
         slices = [data[i::n] for i in range(n)]
         cm = self.sc.cluster.cost_model
+        category = self._stage_category(plan, "spark-parallelize")
         tasks = []
         for index, part_records in enumerate(slices):
             in_bytes = nominal_bytes_of(part_records)
@@ -246,6 +260,7 @@ class SparkScheduler:
                     duration=cost,
                     memory_bytes=in_bytes,
                     on_oom="spill",
+                    category=category,
                 )
             )
         return tasks
@@ -261,7 +276,8 @@ class SparkScheduler:
         # scheduling the parallel download (Section 5.2.1).
         cm = self.sc.cluster.cost_model
         self.sc.cluster.charge_master(
-            cm.s3_list_time(len(keys)), label="s3 listing"
+            cm.s3_list_time(len(keys)), label="s3 listing",
+            category="spark-s3-ingest",
         )
         groups = [keys[i::n] for i in range(n)]
         tasks = []
@@ -300,6 +316,7 @@ class SparkScheduler:
                     duration=cost,
                     memory_bytes=group_bytes,
                     on_oom="spill",
+                    category="spark-s3-ingest",
                 )
             )
         return tasks
@@ -307,6 +324,7 @@ class SparkScheduler:
     def _narrow_tasks(self, plan, inputs, shuffle_partitioner):
         """Stage over already-materialized partitions (cache reads)."""
         cm = self.sc.cluster.cost_model
+        category = self._stage_category(plan, "spark-cache-read")
         tasks = []
         for index, partition in enumerate(inputs):
             cell = {}
@@ -337,6 +355,7 @@ class SparkScheduler:
                     node=partition.node,  # locality: cache lives there
                     memory_bytes=partition.nominal_bytes,
                     on_oom="spill",
+                    category=category,
                 )
             )
         return tasks
@@ -427,6 +446,7 @@ class SparkScheduler:
                     duration=cost,
                     memory_bytes=in_estimate,
                     on_oom="spill",
+                    category="spark-shuffle",
                 )
             )
         return tasks
@@ -455,6 +475,7 @@ class SparkScheduler:
                 self.sc.cluster.charge_master(
                     cm.disk_write_time(partition.nominal_bytes),
                     label="cache spill",
+                    category="spark-cache",
                 )
                 stored.append(
                     Partition(

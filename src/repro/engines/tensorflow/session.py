@@ -59,9 +59,13 @@ class Session(Engine):
                 self.cluster.charge_master(
                     cm.tensor_convert_time(tensor.nominal_bytes),
                     label="tensor convert (feed)",
+                    category="tf-convert",
                 )
 
-        self.cluster.charge_master(cm.tf_step_overhead, label="TF step dispatch")
+        self.cluster.charge_master(
+            cm.tf_step_overhead, label="TF step dispatch",
+            category="tf-dispatch",
+        )
 
         tasks = {}
         for node in needed:
@@ -79,10 +83,12 @@ class Session(Engine):
                         tensor.nominal_bytes, result.node, master
                     ),
                     label="fetch to master",
+                    category="tf-fetch",
                 )
             self.cluster.charge_master(
                 cm.tensor_convert_time(tensor.nominal_bytes),
                 label="tensor convert (fetch)",
+                category="tf-convert",
             )
             out.append(tensor)
         return out
@@ -122,6 +128,7 @@ class Session(Engine):
                 fn=lambda tensor=tensor: tensor,
                 duration=transfer,
                 node=device,
+                category="tf-broadcast",
             )
         if node.op == "constant":
             return Task(
@@ -129,6 +136,7 @@ class Session(Engine):
                 fn=lambda value=node.attrs["value"]: value,
                 duration=0.0,
                 node=device,
+                category="tf-const",
             )
 
         evaluate, cost = OPS[node.op]
@@ -148,5 +156,6 @@ class Session(Engine):
             args=tuple(parent_tasks),
             duration=duration,
             node=device,
+            category=f"tf-{node.op}",
         )
         return task

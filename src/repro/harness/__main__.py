@@ -7,18 +7,25 @@ Usage::
     python -m repro.harness fig10c --quick
     python -m repro.harness all --quick
     python -m repro.harness trace neuro --engine spark --out trace.json
+    python -m repro.harness ledger fig12c --quick
+    python -m repro.harness compare benchmarks/ledger/fig12c-quick.json new.json
 
 ``--quick`` swaps the benchmark dataset profile for a miniature one, so
 every experiment finishes in seconds (shapes are still indicative but
 noisier; the pytest benchmark suite asserts them at the full profile).
 
 The ``trace`` subcommand runs one experiment with the observability
-layer attached, prints the "where did the time go" breakdown, and
-writes a Chrome ``trace_event`` JSON file for chrome://tracing or
-Perfetto.
+layer attached, prints the "where did the time go" breakdown (plus the
+critical-path blame report with ``--critical-path``), and writes a
+Chrome ``trace_event`` JSON file for chrome://tracing or Perfetto.
+
+The ``ledger`` subcommand records versioned run snapshots under
+``benchmarks/ledger/``; ``compare`` diffs two snapshots and exits
+non-zero when the candidate regressed past the tolerance.
 """
 
 import argparse
+import json
 import sys
 
 from repro.harness import experiments as E
@@ -240,7 +247,15 @@ EXPERIMENTS = {
 
 def _trace_main(argv):
     """``python -m repro.harness trace <experiment>`` entry point."""
-    from repro.obs import ClusterMetrics, write_chrome_trace
+    import contextlib
+
+    from repro.obs import (
+        ClusterMetrics,
+        compute_critical_path,
+        format_critical_path,
+        run_snapshot,
+        write_chrome_trace,
+    )
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness trace",
@@ -266,6 +281,12 @@ def _trace_main(argv):
                         help="miniature dataset profile")
     parser.add_argument("--out", default=None,
                         help="trace JSON path (default <experiment>-trace.json)")
+    parser.add_argument("--critical-path", action="store_true",
+                        help="print the critical-path blame report and"
+                        " highlight the path with flow arrows in the trace")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the run snapshot (the ledger serializer)"
+                        " as JSON on stdout; human output moves to stderr")
     args = parser.parse_args(argv)
 
     captured = []
@@ -273,7 +294,9 @@ def _trace_main(argv):
     def observer(cluster):
         captured.append((cluster, ClusterMetrics.attach(cluster)))
 
-    with observe_clusters(observer):
+    # With --json, stdout carries only the snapshot document.
+    human_out = sys.stderr if args.json else sys.stdout
+    with observe_clusters(observer), contextlib.redirect_stdout(human_out):
         if args.experiment == "neuro":
             subjects = neuro_subjects(
                 args.subjects, **(QUICK_NEURO if args.quick else {})
@@ -305,12 +328,130 @@ def _trace_main(argv):
             f"experiment {args.experiment!r} built no cluster to trace"
         )
     cluster, metrics = captured[-1]
-    print_breakdown(cluster, metrics=metrics)
+    path = compute_critical_path(cluster) if (
+        args.critical_path or args.json
+    ) else None
+    print_breakdown(
+        cluster, metrics=metrics,
+        out=lambda text: print(text, file=human_out),
+    )
+    if args.critical_path:
+        print("\n" + format_critical_path(path), file=human_out)
     out_path = args.out or f"{args.experiment}-trace.json"
-    write_chrome_trace(cluster, out_path, metrics=metrics)
+    write_chrome_trace(cluster, out_path, metrics=metrics,
+                       critical_path=path if args.critical_path else None)
     print(f"\nwrote Chrome trace to {out_path}"
-          " (load in chrome://tracing or ui.perfetto.dev)")
+          " (load in chrome://tracing or ui.perfetto.dev)", file=human_out)
+    if args.json:
+        snapshot = run_snapshot(cluster, label=args.experiment,
+                                critical_path=path)
+        print(json.dumps(snapshot, indent=1, sort_keys=True))
     return 0
+
+
+def build_experiment_snapshot(name, quick=True):
+    """Run one experiment id and snapshot every cluster it builds."""
+    from repro.obs import run_snapshot
+    from repro.obs.breakdown import records_of, summarize_records
+    from repro.obs.ledger import experiment_snapshot
+
+    if name not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {name!r}; use --list to see choices"
+        )
+    clusters = []
+    with observe_clusters(clusters.append):
+        EXPERIMENTS[name](quick)
+    runs = []
+    for index, cluster in enumerate(clusters):
+        groups = summarize_records(records_of(cluster))
+        top_group = groups[0]["group"] if groups else "empty"
+        runs.append(
+            run_snapshot(cluster, label=f"{index:02d}-{top_group}")
+        )
+    scale = {
+        "quick": bool(quick),
+        "neuro_profile": QUICK_NEURO if quick else None,
+        "astro_profile": QUICK_ASTRO if quick else None,
+    }
+    return experiment_snapshot(name, runs, quick=quick, scale=scale)
+
+
+def _ledger_main(argv):
+    """``python -m repro.harness ledger <experiment...>`` entry point."""
+    import contextlib
+    import os
+
+    from repro.obs.ledger import write_snapshot
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness ledger",
+        description="Run experiments and write versioned ledger snapshots"
+        " (makespan, blame, bytes, memory) for regression tracking.",
+    )
+    parser.add_argument("experiments", nargs="+",
+                        help="experiment ids (see --list), or 'all'")
+    parser.add_argument("--quick", action="store_true",
+                        help="miniature datasets (the checked-in baselines"
+                        " use this)")
+    parser.add_argument("--out-dir", default="benchmarks/ledger",
+                        help="directory snapshots are written into")
+    args = parser.parse_args(argv)
+
+    names = (
+        list(EXPERIMENTS) if args.experiments == ["all"] else args.experiments
+    )
+    for name in names:
+        if name not in EXPERIMENTS:
+            parser.error(
+                f"unknown experiment {name!r}; use --list to see choices"
+            )
+    os.makedirs(args.out_dir, exist_ok=True)
+    for name in names:
+        with contextlib.redirect_stdout(sys.stderr):
+            snapshot = build_experiment_snapshot(name, quick=args.quick)
+        suffix = "-quick" if args.quick else ""
+        path = os.path.join(args.out_dir, f"{name}{suffix}.json")
+        write_snapshot(snapshot, path)
+        print(f"wrote {path} (makespan {snapshot['total_makespan_s']:.1f}s,"
+              f" {len(snapshot['runs'])} run(s))")
+    return 0
+
+
+def _compare_main(argv):
+    """``python -m repro.harness compare`` entry point."""
+    from repro.obs.ledger import (
+        DEFAULT_TOLERANCE,
+        compare_snapshots,
+        format_compare,
+        load_snapshot,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness compare",
+        description="Diff two ledger snapshots; non-zero exit when the"
+        " candidate's makespan regressed past the tolerance.",
+    )
+    parser.add_argument("baseline", help="baseline snapshot JSON path")
+    parser.add_argument("candidate", help="candidate snapshot JSON path")
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                        help="relative regression tolerance"
+                        f" (default {DEFAULT_TOLERANCE})")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the comparison report as JSON")
+    args = parser.parse_args(argv)
+
+    try:
+        baseline = load_snapshot(args.baseline)
+        candidate = load_snapshot(args.candidate)
+    except (OSError, ValueError) as exc:
+        parser.error(str(exc))
+    report = compare_snapshots(baseline, candidate, tolerance=args.tolerance)
+    if args.json:
+        print(json.dumps(report, indent=1, sort_keys=True))
+    else:
+        print(format_compare(report))
+    return 1 if report["makespan"]["regression"] else 0
 
 
 def main(argv=None):
@@ -319,6 +460,10 @@ def main(argv=None):
         argv = sys.argv[1:]
     if argv and argv[0] == "trace":
         return _trace_main(argv[1:])
+    if argv and argv[0] == "ledger":
+        return _ledger_main(argv[1:])
+    if argv and argv[0] == "compare":
+        return _compare_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",
         description="Regenerate tables/figures from the paper's evaluation.",

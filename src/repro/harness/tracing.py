@@ -15,11 +15,20 @@ name instead of the old name-prefix heuristic; span-less traces group
 exactly as before.
 """
 
+import warnings
+
 from repro.obs.breakdown import (
     default_grouper as _default_grouper,  # noqa: F401 - legacy import path
     node_utilization_rows,
     records_of,
     summarize_records,
+)
+
+warnings.warn(
+    "repro.harness.tracing is deprecated; use repro.obs"
+    " (summarize_records/records_of/format_breakdown) instead",
+    DeprecationWarning,
+    stacklevel=2,
 )
 
 

@@ -16,6 +16,11 @@ any simulated run:
   summaries and the plain-text report.
 - :mod:`repro.obs.chrome_trace` -- Chrome ``trace_event`` JSON export
   (chrome://tracing / Perfetto).
+- :mod:`repro.obs.critical_path` -- critical-path reconstruction and
+  per-resource blame attribution over the recorded task DAG.
+- :mod:`repro.obs.ledger` -- versioned JSON run snapshots under
+  ``benchmarks/ledger/`` and regression diffing between them
+  (``python -m repro.harness compare``).
 
 See the "Observability" section of DESIGN.md and
 ``python -m repro.harness trace`` for the end-to-end workflow.
@@ -30,6 +35,13 @@ from repro.obs.breakdown import (
     summarize_records,
 )
 from repro.obs.chrome_trace import chrome_trace, write_chrome_trace
+from repro.obs.critical_path import (
+    CriticalPath,
+    PathSegment,
+    blame_category,
+    compute_critical_path,
+    format_critical_path,
+)
 from repro.obs.events import (
     BroadcastSent,
     Event,
@@ -57,12 +69,21 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.obs.ledger import (
+    compare_snapshots,
+    experiment_snapshot,
+    format_compare,
+    load_snapshot,
+    run_snapshot,
+    write_snapshot,
+)
 from repro.obs.spans import Observability, Span, SpanStore, TaskRecord
 
 __all__ = [
     "BroadcastSent",
     "ClusterMetrics",
     "Counter",
+    "CriticalPath",
     "Event",
     "EventBus",
     "Gauge",
@@ -76,6 +97,7 @@ __all__ = [
     "ObjectGet",
     "ObjectPut",
     "Observability",
+    "PathSegment",
     "S3Download",
     "Span",
     "SpanClosed",
@@ -87,12 +109,21 @@ __all__ = [
     "TaskQueued",
     "TaskRecord",
     "TaskStarted",
+    "blame_category",
     "chrome_trace",
+    "compare_snapshots",
+    "compute_critical_path",
     "default_grouper",
+    "experiment_snapshot",
     "format_breakdown",
+    "format_compare",
+    "format_critical_path",
     "group_of",
+    "load_snapshot",
     "node_utilization_rows",
     "records_of",
+    "run_snapshot",
     "summarize_records",
     "write_chrome_trace",
+    "write_snapshot",
 ]

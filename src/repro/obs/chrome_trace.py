@@ -19,11 +19,15 @@ _LANE_EPSILON = 1e-9
 SPAN_PROCESS_NAME = "engine spans"
 
 
-def chrome_trace(cluster, metrics=None):
+def chrome_trace(cluster, metrics=None, critical_path=None):
     """Build the trace document (a JSON-ready dict) for one cluster.
 
     ``metrics`` (a :class:`~repro.obs.metrics.ClusterMetrics` attached
     before the run) adds per-node ``memory used`` counter tracks.
+    ``critical_path`` (a :class:`~repro.obs.critical_path.CriticalPath`)
+    adds flow arrows ("s"/"f" events) linking consecutive task slices
+    along the path, so the chain that determines the makespan is
+    visually traceable in Perfetto.
     """
     events = []
     pids = {name: pid for pid, name in enumerate(cluster.node_order)}
@@ -34,6 +38,7 @@ def chrome_trace(cluster, metrics=None):
 
     # Tasks: one lane (tid) per concurrent slot, packed greedily.
     lanes = {name: [] for name in pids}
+    placement = {}
     ordered = sorted(
         records_of(cluster), key=lambda r: (r.start, r.end, r.name)
     )
@@ -46,6 +51,9 @@ def chrome_trace(cluster, metrics=None):
         else:
             tid = len(lane_ends)
             lane_ends.append(record.end)
+        placement[(record.name, record.node, record.start, record.end)] = (
+            pids[record.node], tid,
+        )
         events.append(
             {
                 "name": record.name,
@@ -78,6 +86,11 @@ def chrome_trace(cluster, metrics=None):
             }
         )
 
+    # Critical-path highlighting: flow arrows between consecutive task
+    # slices on the path (wait/idle segments have no slice to anchor).
+    if critical_path is not None:
+        events.extend(_flow_events(critical_path, placement))
+
     # Memory counter tracks, when a metrics aggregator was listening.
     if metrics is not None:
         for node, series in sorted(metrics.memory_series.items()):
@@ -104,9 +117,46 @@ def chrome_trace(cluster, metrics=None):
     }
 
 
-def write_chrome_trace(cluster, path, metrics=None):
+def _flow_events(critical_path, placement):
+    """Flow start/finish pairs walking the path's task slices in order."""
+    from repro.obs.critical_path import EXTENT_KINDS
+
+    anchored = []
+    for segment in critical_path.segments:
+        if segment.kind not in EXTENT_KINDS:
+            continue
+        record = critical_path.record_for(segment)
+        if record is None:
+            continue
+        key = (record.name, record.node, record.start, record.end)
+        if key not in placement:
+            continue
+        anchored.append((segment, record, placement[key]))
+
+    events = []
+    flow_id = 0
+    for (seg_a, rec_a, (pid_a, tid_a)), (seg_b, rec_b, (pid_b, tid_b)) in zip(
+        anchored, anchored[1:]
+    ):
+        if rec_a is rec_b:
+            continue
+        flow_id += 1
+        common = {"name": "critical-path", "cat": "critical-path",
+                  "id": flow_id}
+        events.append(
+            dict(common, ph="s", ts=seg_a.end * 1e6, pid=pid_a, tid=tid_a)
+        )
+        events.append(
+            dict(common, ph="f", bp="e", ts=seg_b.start * 1e6,
+                 pid=pid_b, tid=tid_b)
+        )
+    return events
+
+
+def write_chrome_trace(cluster, path, metrics=None, critical_path=None):
     """Serialize :func:`chrome_trace` to ``path``; returns the path."""
-    document = chrome_trace(cluster, metrics=metrics)
+    document = chrome_trace(cluster, metrics=metrics,
+                            critical_path=critical_path)
     with open(path, "w") as fh:
         json.dump(document, fh, indent=1, sort_keys=True)
     return path

@@ -99,16 +99,58 @@ class SpanStore:
 
 
 class TaskRecord:
-    """One executed task, tagged with the span it ran under."""
+    """One executed task, tagged with the span it ran under.
 
-    __slots__ = ("name", "node", "start", "end", "span")
+    Beyond the ``[start, end]`` slot extent, the executor attaches the
+    scheduling metadata that critical-path analysis needs: when the
+    task was queued, when its last dependency resolved (``ready``), its
+    dispatch floor (``not_before``), whether memory admission deferred
+    it, the transfer/compute/spill decomposition of its extent, and the
+    ids of its dependencies.  All fields default so that records
+    synthesized from bare ``task_trace`` tuples keep working.
+    """
 
-    def __init__(self, name, node, start, end, span=None):
+    __slots__ = (
+        "name",
+        "node",
+        "start",
+        "end",
+        "span",
+        "task_id",
+        "category",
+        "queued",
+        "ready",
+        "not_before",
+        "mem_deferred",
+        "transfer_s",
+        "compute_s",
+        "spill_s",
+        "dep_ids",
+    )
+
+    def __init__(self, name, node, start, end, span=None, task_id=None,
+                 category=None, queued=None, ready=None, not_before=0.0,
+                 mem_deferred=False, transfer_s=0.0, compute_s=None,
+                 spill_s=0.0, dep_ids=()):
         self.name = name
         self.node = node
         self.start = start
         self.end = end
         self.span = span
+        self.task_id = task_id
+        self.category = category
+        self.queued = queued
+        self.ready = ready
+        self.not_before = not_before
+        self.mem_deferred = mem_deferred
+        self.transfer_s = transfer_s
+        # Untracked records (coordinator charges, synthesized traces)
+        # count their whole extent as compute.
+        if compute_s is None:
+            compute_s = (end - start) - transfer_s - spill_s
+        self.compute_s = compute_s
+        self.spill_s = spill_s
+        self.dep_ids = tuple(dep_ids)
 
     @property
     def duration(self):
@@ -158,10 +200,16 @@ class Observability:
                     SpanClosed(self.clock.now, name, span.span_id, span.start)
                 )
 
-    def record_task(self, name, node, start, end):
-        """Record one executed task under the currently-open span."""
+    def record_task(self, name, node, start, end, **meta):
+        """Record one executed task under the currently-open span.
+
+        ``meta`` carries the optional :class:`TaskRecord` scheduling
+        fields (``task_id``, ``category``, ``queued``, ``ready``, ...).
+        Recording is pure bookkeeping -- it never touches the clock, so
+        observed and unobserved runs stay bit-identical.
+        """
         self.task_records.append(
-            TaskRecord(name, node, start, end, self.spans.current())
+            TaskRecord(name, node, start, end, self.spans.current(), **meta)
         )
 
     def reset(self):

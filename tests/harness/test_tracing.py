@@ -1,13 +1,20 @@
 """Tests for trace analysis."""
 
+import importlib
+import sys
+import warnings
+
 import pytest
 
 from repro.cluster import ClusterSpec, SimulatedCluster, Task
-from repro.harness.tracing import (
-    critical_share,
-    node_utilization,
-    summarize_trace,
-)
+
+with warnings.catch_warnings():
+    warnings.simplefilter("ignore", DeprecationWarning)
+    from repro.harness.tracing import (
+        critical_share,
+        node_utilization,
+        summarize_trace,
+    )
 
 
 @pytest.fixture
@@ -55,3 +62,10 @@ def test_custom_grouper(traced_cluster):
     rows = summarize_trace(traced_cluster, grouper=lambda name: "all")
     assert len(rows) == 1
     assert rows[0]["busy_s"] == pytest.approx(10.0)
+
+
+def test_import_warns_deprecation():
+    sys.modules.pop("repro.harness.tracing", None)
+    with pytest.warns(DeprecationWarning,
+                      match="repro.harness.tracing is deprecated"):
+        importlib.import_module("repro.harness.tracing")

@@ -1,0 +1,103 @@
+"""Property tests for critical-path invariants.
+
+Three invariants hold for every run by construction:
+
+- segments tile ``[epoch, end]`` exactly (no gaps, no overlap);
+- the path length (work segments only) never exceeds the makespan,
+  and equals it for a pure chain DAG;
+- blame fractions sum to 1.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ClusterSpec, SimulatedCluster, Task
+from repro.obs import compute_critical_path
+
+# Zero or >= 1ms: simulated work is second-scale; subnormal durations
+# would demand relative epsilons the walk does not need in practice.
+durations = st.one_of(
+    st.just(0.0),
+    st.floats(min_value=1e-3, max_value=50.0,
+              allow_nan=False, allow_infinity=False),
+)
+
+
+@st.composite
+def random_dags(draw):
+    """A cluster plus a random task DAG (deps only point backward)."""
+    n_nodes = draw(st.integers(min_value=1, max_value=4))
+    n_tasks = draw(st.integers(min_value=1, max_value=16))
+    tasks = []
+    for index in range(n_tasks):
+        n_deps = draw(st.integers(min_value=0, max_value=min(index, 3)))
+        dep_indexes = draw(
+            st.sets(st.integers(min_value=0, max_value=index - 1),
+                    min_size=n_deps, max_size=n_deps)
+        ) if index else set()
+        not_before = draw(
+            st.one_of(st.just(0.0),
+                      st.floats(min_value=0.0, max_value=10.0))
+        )
+        tasks.append(
+            Task(
+                f"task-{index}",
+                duration=draw(durations),
+                deps=tuple(tasks[i] for i in sorted(dep_indexes)),
+                not_before=not_before,
+            )
+        )
+    return n_nodes, tasks
+
+
+def assert_invariants(path):
+    cursor = path.epoch
+    for segment in path.segments:
+        assert segment.start == pytest.approx(cursor, abs=1e-6)
+        assert segment.end >= segment.start - 1e-9
+        cursor = segment.end
+    assert cursor == pytest.approx(path.end, abs=1e-6)
+    assert path.path_length <= path.makespan + 1e-6
+    if path.makespan:
+        assert sum(r["fraction"] for r in path.blame()) == pytest.approx(
+            1.0, abs=1e-6
+        )
+
+
+@given(random_dags())
+@settings(max_examples=60, deadline=None)
+def test_random_dag_invariants(dag):
+    n_nodes, tasks = dag
+    cluster = SimulatedCluster(ClusterSpec(n_nodes=n_nodes))
+    cluster.run(tasks)
+    assert_invariants(compute_critical_path(cluster))
+
+
+@given(st.lists(durations, min_size=1, max_size=12))
+@settings(max_examples=60, deadline=None)
+def test_pure_chain_path_equals_makespan(chain_durations):
+    cluster = SimulatedCluster(ClusterSpec(n_nodes=2))
+    tasks = []
+    for index, duration in enumerate(chain_durations):
+        tasks.append(
+            Task(f"link-{index}", duration=duration,
+                 deps=(tasks[-1],) if tasks else ())
+        )
+    cluster.run(tasks)
+    path = compute_critical_path(cluster)
+    assert_invariants(path)
+    assert path.path_length == pytest.approx(path.makespan, abs=1e-6)
+
+
+@given(random_dags(), random_dags())
+@settings(max_examples=25, deadline=None)
+def test_multiple_runs_still_tile(first, second):
+    """Back-to-back cluster.run calls stay covered by one path."""
+    n_nodes, tasks = first
+    _, more = second
+    cluster = SimulatedCluster(ClusterSpec(n_nodes=n_nodes))
+    cluster.run(tasks)
+    cluster.charge_master(1.0, label="between", category="coordinator")
+    cluster.run(more)
+    assert_invariants(compute_critical_path(cluster))
