@@ -18,9 +18,19 @@ from repro.cluster.disk import LocalDisk
 from repro.cluster.errors import (
     ClusterError,
     DiskFullError,
+    NodeCrashedError,
     OutOfMemoryError,
     PlacementError,
+    S3RetriesExhaustedError,
     TaskFailedError,
+)
+from repro.cluster.faults import (
+    FaultPlan,
+    RecoveryPolicy,
+    RetryPolicy,
+    abort_recovery,
+    dask_recovery,
+    spark_recovery,
 )
 from repro.cluster.memory import MemoryTracker
 from repro.cluster.network import NetworkModel
@@ -33,18 +43,26 @@ __all__ = [
     "ClusterSpec",
     "CostModel",
     "DiskFullError",
+    "FaultPlan",
     "LocalDisk",
     "MemoryTracker",
     "NetworkModel",
     "Node",
+    "NodeCrashedError",
     "NodeSpec",
     "ObjectStore",
     "OutOfMemoryError",
     "PlacementError",
     "R3_2XLARGE",
+    "RecoveryPolicy",
+    "RetryPolicy",
+    "S3RetriesExhaustedError",
     "SimulatedCluster",
     "Task",
     "TaskFailedError",
     "TaskResult",
     "VirtualClock",
+    "abort_recovery",
+    "dask_recovery",
+    "spark_recovery",
 ]

@@ -14,10 +14,12 @@ from repro.cluster.clock import VirtualClock
 from repro.cluster.costs import DEFAULT_COST_MODEL
 from repro.cluster.disk import LocalDisk
 from repro.cluster.errors import (
+    NodeCrashedError,
     OutOfMemoryError,
     PlacementError,
     TaskFailedError,
 )
+from repro.cluster.faults import RecoveryPolicy
 from repro.cluster.memory import MemoryTracker
 from repro.cluster.network import NetworkModel
 from repro.cluster.objectstore import ObjectStore
@@ -25,10 +27,13 @@ from repro.cluster.spec import ClusterSpec
 from repro.cluster.task import Task, TaskResult
 from repro.obs import Observability
 from repro.obs.events import (
+    NodeCrashed,
+    NodeRecovered,
     TaskFailed,
     TaskFinished,
     TaskPlaced,
     TaskQueued,
+    TaskRetried,
     TaskStarted,
 )
 
@@ -50,6 +55,12 @@ class Node:
         self.disk = LocalDisk(name, spec.disk_bytes)
         self.cost_model = cost_model
         self.busy_seconds = 0.0
+        self.alive = True
+        #: Times this node has crashed; consumers (e.g. Dask's client)
+        #: use it as a liveness epoch for results placed here.
+        self.crash_count = 0
+        self.failed_tasks = 0
+        self.retried_tasks = 0
 
     @property
     def free_slots(self):
@@ -88,6 +99,98 @@ class SimulatedCluster:
         #: deferrals, transfer/compute/spill split) feeding the task
         #: records that critical-path analysis consumes.
         self._sched_info = {}
+        # -- fault injection and recovery state ------------------------
+        self._faults = None
+        self.recovery_policy = RecoveryPolicy()
+        self._blacklisted = set()
+        #: task_id -> failed attempts so far (crash kills + transients).
+        self._attempts = {}
+        #: Completed task ids whose results died with a crashed node.
+        self._lost_results = set()
+        #: Task ids being re-run after a failure (sets the ``retried``
+        #: flag and recompute category on their next record).
+        self._resurrected = set()
+        #: node name -> virtual time its post-crash restart completes.
+        self._pending_recover = {}
+        #: task_id -> (task, node, alloc_id, end, attempt) per running
+        #: attempt.
+        self._inflight = {}
+        self._fault_seq = 10 ** 9
+        #: Monotonic per-push sequence: the third heap field, so equal
+        #: (time, tiebreak) events resolve by push order instead of
+        #: comparing payloads.
+        self._event_seq = 0
+
+    # ------------------------------------------------------------------
+    # Fault injection and recovery configuration
+    # ------------------------------------------------------------------
+
+    def install_faults(self, plan):
+        """Attach a :class:`~repro.cluster.faults.FaultPlan` to this run.
+
+        Link degradations apply to the network model immediately;
+        crashes and transient failures are scheduled by :meth:`run` on
+        the virtual clock.  Plans are single-use: share one across
+        clusters only if you want the identical schedule replayed.
+        """
+        self._faults = plan
+        for (src, dst), factor in sorted(plan.link_factors.items()):
+            self.network.set_link_factor(src, dst, factor)
+        if plan.s3_faults is not None:
+            self.object_store.install_faults(plan)
+        return plan
+
+    def install_recovery(self, policy):
+        """Set the engine's :class:`~repro.cluster.faults.RecoveryPolicy`."""
+        self.recovery_policy = policy
+        return policy
+
+    def _next_fault_tiebreak(self):
+        """Heap tiebreaks for fault events: after task events, unique."""
+        self._fault_seq += 1
+        return self._fault_seq
+
+    def _push_event(self, events, time, tiebreak, kind, payload):
+        """Heap entries are ``(time, tiebreak, seq, kind, payload)``."""
+        self._event_seq += 1
+        heapq.heappush(events, (time, tiebreak, self._event_seq, kind, payload))
+
+    def _revive(self, name):
+        """A crashed node rejoins the cluster (with empty state).
+
+        Rejoining also clears any blacklist entry: the rebooted node
+        registers as a fresh executor, like a replacement Spark
+        executor after ``spark.blacklist.timeout``.
+        """
+        node = self.nodes[name]
+        self._pending_recover.pop(name, None)
+        self._blacklisted.discard(name)
+        if node.alive:
+            return
+        node.alive = True
+        if self.obs.events:
+            self.obs.events.emit(NodeRecovered(self.now, name))
+
+    def _drain_inflight(self):
+        """Release slots/memory of running attempts when a run aborts.
+
+        Without this, any exception out of :meth:`run` (task failure,
+        OOM, node crash under the abort policy) would leak the busy
+        slots and allocations of every other in-flight task, because
+        their completion events die with the local event heap.
+        """
+        for _tid, (task, node, alloc_id, end, _attempt) in sorted(
+            self._inflight.items()
+        ):
+            if node.alive:
+                node.busy_slots = max(0, node.busy_slots - 1)
+                node.busy_seconds -= max(0.0, end - self.now)
+            if alloc_id is not None:
+                try:
+                    node.memory.free(alloc_id)
+                except KeyError:
+                    pass
+        self._inflight.clear()
 
     # ------------------------------------------------------------------
     # Convenience accessors
@@ -140,6 +243,7 @@ class SimulatedCluster:
         if not pending:
             return {}
 
+        policy = self.recovery_policy
         bus = self.obs.events
         if bus:
             for task in sorted(pending.values(), key=lambda t: t.task_id):
@@ -148,34 +252,183 @@ class SimulatedCluster:
         waiting_deps = {}
         dependents = {}
         ready = []
-        for task in pending.values():
-            open_deps = [
-                d for d in task.dependencies() if d.task_id not in self.completed
-            ]
-            for dep in open_deps:
-                if dep.task_id not in pending:
-                    raise TaskFailedError(
-                        task.name,
-                        RuntimeError(
-                            f"dependency {dep.name!r} neither scheduled nor completed"
-                        ),
-                    )
-                dependents.setdefault(dep.task_id, []).append(task)
-            waiting_deps[task.task_id] = len(open_deps)
-            self._sched_info[task.task_id] = {
-                "queued": self.now,
-                "ready": self.now if not open_deps else None,
-                "mem_deferred": False,
-            }
-            if not open_deps:
-                ready.append(task)
-        # FIFO by task id keeps scheduling deterministic.
-        ready.sort(key=lambda t: t.task_id)
-
         events = []  # heap of (time, tiebreak, kind, payload)
         run_results = {}
         oom_waiting = []
         timers_set = set()
+        cancelled = set()
+        initial_total = len(pending)
+        completions = 0
+
+        def rebuild_schedule(time):
+            """(Re)derive readiness state from ``pending``.
+
+            Called once at run start and again after every crash, when
+            requeued and resurrected tasks invalidate the incremental
+            waiting-dependency counts.
+            """
+            waiting_deps.clear()
+            dependents.clear()
+            del ready[:]
+            oom_waiting.clear()
+            for task in pending.values():
+                if (task.task_id in self.completed
+                        or task.task_id in self._inflight):
+                    continue
+                open_deps = [
+                    d for d in task.dependencies()
+                    if d.task_id not in self.completed
+                ]
+                for dep in open_deps:
+                    if dep.task_id not in pending:
+                        raise TaskFailedError(
+                            task.name,
+                            RuntimeError(
+                                f"dependency {dep.name!r} neither scheduled"
+                                " nor completed"
+                            ),
+                            category=task.category,
+                        )
+                    dependents.setdefault(dep.task_id, []).append(task)
+                waiting_deps[task.task_id] = len(open_deps)
+                info = self._sched_info.get(task.task_id)
+                if task.task_id in self._resurrected:
+                    self._resurrected.discard(task.task_id)
+                    info = {
+                        "queued": time,
+                        "ready": time if not open_deps else None,
+                        "mem_deferred": False,
+                        "retried": True,
+                    }
+                    if policy.recompute_category:
+                        info["category_override"] = policy.recompute_category
+                    self._sched_info[task.task_id] = info
+                elif info is None:
+                    self._sched_info[task.task_id] = {
+                        "queued": time,
+                        "ready": time if not open_deps else None,
+                        "mem_deferred": False,
+                    }
+                elif open_deps:
+                    info["ready"] = None
+                elif info.get("ready") is None:
+                    info["ready"] = time
+                if not open_deps:
+                    ready.append(task)
+            # FIFO by task id keeps scheduling deterministic.
+            ready.sort(key=lambda t: t.task_id)
+
+        def fire_crash(crash, time):
+            """Kill a node: wipe its state, then recover per policy."""
+            crash.fired = True
+            node = self.nodes.get(crash.node)
+            if node is None:
+                raise PlacementError(
+                    f"fault plan crashes unknown node {crash.node!r}"
+                )
+            if not node.alive:
+                return
+            node.alive = False
+            node.crash_count += 1
+            killed = []
+            for tid in sorted(self._inflight):
+                task, on_node, _alloc, end, attempt = self._inflight[tid]
+                if on_node is not node:
+                    continue
+                del self._inflight[tid]
+                cancelled.add((tid, attempt))
+                node.failed_tasks += 1
+                node.busy_seconds -= max(0.0, end - time)
+                start = self._start_times.get(tid, time)
+                # Record the lost partial extent so node-busy tiling
+                # (and blame, if it lands on the path) stays exact.
+                self.obs.record_task(task.name, node.name, start, time,
+                                     category=task.category)
+                if bus:
+                    bus.emit(TaskFailed(time, task.name, tid, node.name,
+                                        f"node {node.name} crashed"))
+                killed.append(task)
+            node.busy_slots = 0
+            node.memory.wipe()
+            if crash.lose_disk:
+                node.disk.wipe()
+            for tid, res in self.completed.items():
+                if res.node == node.name:
+                    self._lost_results.add(tid)
+            recover_at = None
+            if crash.restart_after is not None:
+                recover_at = time + crash.restart_after
+                self._pending_recover[node.name] = recover_at
+                self._push_event(
+                    events, recover_at, self._next_fault_tiebreak(),
+                    "recover", node.name,
+                )
+            if bus:
+                bus.emit(NodeCrashed(time, node.name,
+                                     tuple(t.name for t in killed)))
+            if policy.mode == RecoveryPolicy.ABORT:
+                raise NodeCrashedError(
+                    node.name, time, recover_at=recover_at,
+                    killed_tasks=tuple(t.name for t in killed),
+                )
+            if policy.blacklist:
+                self._blacklisted.add(node.name)
+            # Requeue killed attempts, bounded by the recovery policy.
+            for task in killed:
+                attempts = self._attempts.get(task.task_id, 0) + 1
+                self._attempts[task.task_id] = attempts
+                if attempts >= policy.max_task_failures:
+                    raise TaskFailedError(
+                        task.name,
+                        NodeCrashedError(node.name, time,
+                                         recover_at=recover_at),
+                        node=node.name,
+                        category=task.category,
+                    )
+                node.retried_tasks += 1
+                self._resurrected.add(task.task_id)
+                if bus:
+                    bus.emit(TaskRetried(time, task.name, task.task_id,
+                                         node.name, attempts + 1))
+            # Unpin not-yet-finished tasks stranded on the dead node.
+            for task in pending.values():
+                if task.task_id in self.completed:
+                    continue
+                if task.node == node.name:
+                    task.node = None
+            # Resurrect lost dependencies transitively: every result
+            # that lived on the crashed node and is still needed must
+            # be recomputed from lineage on the survivors.
+            stack = [
+                t for t in list(pending.values())
+                if t.task_id not in self.completed
+            ]
+            seen = set()
+            while stack:
+                t = stack.pop()
+                if t.task_id in seen:
+                    continue
+                seen.add(t.task_id)
+                for dep in t.dependencies():
+                    if (dep.task_id in self._lost_results
+                            and dep.task_id in self.completed):
+                        del self.completed[dep.task_id]
+                        self._lost_results.discard(dep.task_id)
+                        self._resurrected.add(dep.task_id)
+                        pending[dep.task_id] = dep
+                        if dep.node is not None:
+                            owner = self.nodes.get(dep.node)
+                            if (owner is None or not owner.alive
+                                    or dep.node in self._blacklisted):
+                                dep.node = None
+                        if bus:
+                            bus.emit(TaskRetried(
+                                time, dep.name, dep.task_id, node.name,
+                                self._attempts.get(dep.task_id, 0) + 1,
+                            ))
+                    if dep.task_id not in self.completed:
+                        stack.append(dep)
+            rebuild_schedule(time)
 
         def start_candidates():
             still_ready = []
@@ -183,8 +436,8 @@ class SimulatedCluster:
                 if task.not_before > self.now:
                     if task.task_id not in timers_set:
                         timers_set.add(task.task_id)
-                        heapq.heappush(
-                            events, (task.not_before, task.task_id, "timer", None)
+                        self._push_event(
+                            events, task.not_before, task.task_id, "timer", None
                         )
                     still_ready.append(task)
                     continue
@@ -199,67 +452,140 @@ class SimulatedCluster:
                     oom_waiting.append(task)
             ready[:] = still_ready
 
-        start_candidates()
-        if not events and (ready or oom_waiting):
-            raise TaskFailedError(
-                (ready + oom_waiting)[0].name,
-                RuntimeError("no task could start: cluster has no usable slot"),
-            )
+        def check_progress_crashes(time):
+            if self._faults is None or initial_total == 0:
+                return
+            for crash in self._faults.crashes:
+                if (not crash.fired and crash.at_progress is not None
+                        and completions >= crash.at_progress * initial_total):
+                    fire_crash(crash, time)
 
-        while events:
-            time, _tiebreak, kind, payload = heapq.heappop(events)
-            self.clock.advance_to(time)
-            if kind == "complete":
-                task, node, alloc_id, value = payload
-                node.busy_slots -= 1
-                if alloc_id is not None:
-                    node.memory.free(alloc_id)
-                result = TaskResult(
-                    task, value, self._start_times[task.task_id], time, node.name
-                )
-                self.completed[task.task_id] = result
-                run_results[task.task_id] = result
-                self.task_trace.append((task.name, node.name, result.start_time, time))
-                info = self._sched_info.get(task.task_id, {})
-                self.obs.record_task(
-                    task.name, node.name, result.start_time, time,
-                    task_id=task.task_id,
-                    category=task.category,
-                    queued=info.get("queued"),
-                    ready=info.get("ready"),
-                    not_before=task.not_before,
-                    mem_deferred=info.get("mem_deferred", False),
-                    transfer_s=info.get("transfer_s", 0.0),
-                    compute_s=info.get("compute_s"),
-                    spill_s=info.get("spill_s", 0.0),
-                    dep_ids=tuple(d.task_id for d in task.dependencies()),
-                )
-                if bus:
-                    bus.emit(
-                        TaskFinished(
-                            time, task.name, task.task_id, node.name,
-                            result.start_time,
-                        )
+        try:
+            rebuild_schedule(self.now)
+            # Nodes whose post-crash restart completed while the engine
+            # was between runs rejoin now; in-run restarts get events.
+            for name in sorted(self._pending_recover):
+                at = self._pending_recover[name]
+                if at <= self.now:
+                    self._revive(name)
+                else:
+                    self._push_event(
+                        events, at, self._next_fault_tiebreak(), "recover", name
                     )
-                for child in dependents.get(task.task_id, ()):
-                    waiting_deps[child.task_id] -= 1
-                    if waiting_deps[child.task_id] == 0:
-                        self._sched_info[child.task_id]["ready"] = time
-                        ready.append(child)
-                ready.sort(key=lambda t: t.task_id)
-                # Retry memory-deferred tasks now that memory may have freed.
-                if oom_waiting:
-                    ready[:0] = sorted(oom_waiting, key=lambda t: t.task_id)
-                    oom_waiting.clear()
+            # Arm this plan's unfired time-based crashes.
+            if self._faults is not None:
+                for crash in self._faults.crashes:
+                    if crash.fired or crash.at_time is None:
+                        continue
+                    self._push_event(
+                        events, max(crash.at_time, self.now),
+                        self._next_fault_tiebreak(), "crash", crash,
+                    )
+
             start_candidates()
             if not events and (ready or oom_waiting):
-                blocked = (ready + oom_waiting)[0]
                 raise TaskFailedError(
-                    blocked.name,
-                    RuntimeError(
-                        "deadlock: task cannot start (insufficient memory or slots)"
-                    ),
+                    (ready + oom_waiting)[0].name,
+                    RuntimeError("no task could start: cluster has no usable slot"),
                 )
+
+            while events:
+                if (not self._inflight and not ready and not oom_waiting
+                        and all(e[3] in ("crash", "recover") for e in events)):
+                    # Only future fault events remain.  If the DAG is
+                    # done, leave them for the next run instead of
+                    # advancing the clock past the real makespan.
+                    unfinished = [
+                        t for t in pending.values()
+                        if t.task_id not in self.completed
+                    ]
+                    if not unfinished:
+                        break
+                    raise TaskFailedError(
+                        unfinished[0].name,
+                        RuntimeError(
+                            "deadlock: task cannot start (insufficient"
+                            " memory or slots)"
+                        ),
+                        category=unfinished[0].category,
+                    )
+                time, _tiebreak, _seq, kind, payload = heapq.heappop(events)
+                if kind in ("complete", "task-fail"):
+                    key = (payload[0].task_id, payload[-1])
+                    if key in cancelled:
+                        # The attempt died with its node; drop the
+                        # event without advancing the clock.
+                        cancelled.discard(key)
+                        continue
+                self.clock.advance_to(time)
+                if kind == "crash":
+                    if not payload.fired:
+                        fire_crash(payload, time)
+                elif kind == "recover":
+                    self._revive(payload)
+                elif kind == "task-fail":
+                    self._handle_task_fail(payload, time, ready, timers_set)
+                elif kind == "complete":
+                    task, node, alloc_id, value, _attempt = payload
+                    self._inflight.pop(task.task_id, None)
+                    node.busy_slots -= 1
+                    if alloc_id is not None:
+                        node.memory.free(alloc_id)
+                    result = TaskResult(
+                        task, value, self._start_times[task.task_id], time, node.name
+                    )
+                    self.completed[task.task_id] = result
+                    run_results[task.task_id] = result
+                    self.task_trace.append((task.name, node.name, result.start_time, time))
+                    info = self._sched_info.get(task.task_id, {})
+                    self.obs.record_task(
+                        task.name, node.name, result.start_time, time,
+                        task_id=task.task_id,
+                        category=info.get("category_override") or task.category,
+                        queued=info.get("queued"),
+                        ready=info.get("ready"),
+                        not_before=task.not_before,
+                        mem_deferred=info.get("mem_deferred", False),
+                        transfer_s=info.get("transfer_s", 0.0),
+                        compute_s=info.get("compute_s"),
+                        spill_s=info.get("spill_s", 0.0),
+                        dep_ids=tuple(d.task_id for d in task.dependencies()),
+                        retried=info.get("retried", False),
+                    )
+                    if bus:
+                        bus.emit(
+                            TaskFinished(
+                                time, task.name, task.task_id, node.name,
+                                result.start_time,
+                            )
+                        )
+                    for child in dependents.get(task.task_id, ()):
+                        waiting_deps[child.task_id] -= 1
+                        if waiting_deps[child.task_id] == 0:
+                            self._sched_info[child.task_id]["ready"] = time
+                            ready.append(child)
+                    ready.sort(key=lambda t: t.task_id)
+                    # Retry memory-deferred tasks now that memory may have freed.
+                    if oom_waiting:
+                        ready[:0] = sorted(oom_waiting, key=lambda t: t.task_id)
+                        oom_waiting.clear()
+                    completions += 1
+                    check_progress_crashes(time)
+                start_candidates()
+                if not events and (ready or oom_waiting):
+                    blocked = (ready + oom_waiting)[0]
+                    raise TaskFailedError(
+                        blocked.name,
+                        RuntimeError(
+                            "deadlock: task cannot start (insufficient memory or slots)"
+                        ),
+                        category=blocked.category,
+                    )
+        except BaseException:
+            # Whatever aborted the run, in-flight attempts must not
+            # leak their slots or memory reservations.
+            self._drain_inflight()
+            raise
 
         return run_results
 
@@ -267,28 +593,104 @@ class SimulatedCluster:
     # Internals
     # ------------------------------------------------------------------
 
+    def _handle_task_fail(self, payload, time, ready, timers_set):
+        """An injected transient failure was detected; retry or give up."""
+        task, node, alloc_id, _end, _attempt = payload
+        tid = task.task_id
+        self._inflight.pop(tid, None)
+        if node.alive:
+            node.busy_slots -= 1
+        if alloc_id is not None:
+            node.memory.free(alloc_id)
+        node.failed_tasks += 1
+        attempts = self._attempts.get(tid, 0) + 1
+        self._attempts[tid] = attempts
+        start = self._start_times.get(tid, time)
+        # Record the failed attempt's extent (no task_id: the eventual
+        # successful attempt owns the id in the critical-path DAG).
+        self.obs.record_task(task.name, node.name, start, time,
+                             category=task.category)
+        bus = self.obs.events
+        if bus:
+            bus.emit(TaskFailed(time, task.name, tid, node.name,
+                                "injected transient failure"))
+        retry = self._faults.retry_policy
+        if attempts >= retry.max_attempts:
+            raise TaskFailedError(
+                task.name,
+                RuntimeError(f"transient failure persisted for"
+                             f" {attempts} attempt(s)"),
+                node=node.name,
+                category=task.category,
+            )
+        node.retried_tasks += 1
+        task.not_before = max(task.not_before, time + retry.backoff(attempts))
+        info = self._sched_info.get(tid)
+        if info is not None:
+            info["ready"] = time
+            info["retried"] = True
+        timers_set.discard(tid)
+        if bus:
+            bus.emit(TaskRetried(time, task.name, tid, node.name, attempts + 1))
+        ready.append(task)
+        ready.sort(key=lambda t: t.task_id)
+
     def _collect(self, tasks):
-        """Transitively gather the task set, keyed by id."""
+        """Transitively gather the task set, keyed by id.
+
+        A task that completed earlier but whose result died with a
+        crashed node is collected again: resubmitting it (or anything
+        depending on it) recomputes it from lineage.
+        """
         pending = {}
         stack = list(tasks)
         while stack:
             task = stack.pop()
             if not isinstance(task, Task):
                 raise TypeError(f"expected Task, got {type(task)!r}")
-            if task.task_id in pending or task.task_id in self.completed:
+            if task.task_id in pending:
                 continue
+            if task.task_id in self.completed:
+                if task.task_id not in self._lost_results:
+                    continue
+                del self.completed[task.task_id]
+                self._lost_results.discard(task.task_id)
+                self._resurrected.add(task.task_id)
+                if task.node is not None:
+                    owner = self.nodes.get(task.node)
+                    if (owner is None or not owner.alive
+                            or task.node in self._blacklisted):
+                        task.node = None
             pending[task.task_id] = task
             stack.extend(task.dependencies())
         return pending
 
     def _place(self, task):
-        """Pick a node for ``task``; ``None`` when no slot is free."""
+        """Pick a node for ``task``; ``None`` when no slot is free.
+
+        Dead and blacklisted nodes are never eligible.  A task pinned
+        to one is silently unpinned under the "recompute" recovery
+        policy (lineage recompute runs wherever survivors have slots);
+        under "abort" the stranded pin surfaces as
+        :class:`NodeCrashedError` so the engine can wait or restart.
+        """
         if task.node is not None:
             node = self.node(task.node)
-            return node if node.free_slots > 0 else None
+            if not node.alive or node.name in self._blacklisted:
+                if self.recovery_policy.mode == RecoveryPolicy.RECOMPUTE:
+                    task.node = None
+                else:
+                    raise NodeCrashedError(
+                        node.name, self.now,
+                        recover_at=self._pending_recover.get(node.name),
+                    )
+            else:
+                return node if node.free_slots > 0 else None
         best = None
         for name in self.node_order:
             node = self.nodes[name]
+            if not node.alive or name in self._blacklisted:
+                continue
             if node.free_slots <= 0:
                 continue
             if best is None or node.free_slots > best.free_slots:
@@ -331,6 +733,35 @@ class SimulatedCluster:
                     task.name,
                 )
 
+        attempt = self._attempts.get(task.task_id, 0)
+
+        # Injected transient failure: the attempt occupies its slot for
+        # the detection delay, never running the task body (whose side
+        # effects and cost closures must only happen once).
+        if self._faults is not None:
+            detect_delay = self._faults.task_should_fail(task, attempt + 1)
+            if detect_delay is not None:
+                start = self.now
+                end = start + detect_delay
+                node.busy_slots += 1
+                node.busy_seconds += detect_delay
+                self._start_times[task.task_id] = start
+                self._inflight[task.task_id] = (
+                    task, node, alloc_id, end, attempt
+                )
+                if self.obs.events:
+                    self.obs.events.emit(
+                        TaskPlaced(start, task.name, task.task_id, node.name)
+                    )
+                    self.obs.events.emit(
+                        TaskStarted(start, task.name, task.task_id, node.name)
+                    )
+                self._push_event(
+                    events, end, task.task_id, "task-fail",
+                    (task, node, alloc_id, end, attempt),
+                )
+                return True
+
         resolved_args = [self._resolve(a) for a in task.args]
         resolved_kwargs = {k: self._resolve(v) for k, v in task.kwargs.items()}
 
@@ -344,6 +775,7 @@ class SimulatedCluster:
 
         # Real computation runs first so that cost callables may price
         # the work from its actual outputs.
+        s3_delay_before = self.object_store.total_retry_delay_s
         if task.fn is not None:
             try:
                 value = task.fn(*resolved_args, **resolved_kwargs)
@@ -357,7 +789,9 @@ class SimulatedCluster:
                             repr(exc),
                         )
                     )
-                raise TaskFailedError(task.name, exc) from exc
+                raise TaskFailedError(
+                    task.name, exc, node=node.name, category=task.category
+                ) from exc
         else:
             value = None
 
@@ -365,6 +799,11 @@ class SimulatedCluster:
             duration = float(task.duration(*resolved_args, **resolved_kwargs))
         else:
             duration = float(task.duration)
+        if self._faults is not None:
+            # Stragglers stretch this node's compute; transient S3
+            # retries hit during fn stretch it by their total backoff.
+            duration *= self._faults.slowdown(node.name)
+            duration += self.object_store.total_retry_delay_s - s3_delay_before
         compute_seconds = duration
         if spill_bytes > 0:
             duration += self.cost_model.disk_write_time(spill_bytes)
@@ -381,6 +820,7 @@ class SimulatedCluster:
         node.busy_slots += 1
         node.busy_seconds += transfer + duration
         self._start_times[task.task_id] = start
+        self._inflight[task.task_id] = (task, node, alloc_id, end, attempt)
         if self.obs.events:
             self.obs.events.emit(
                 TaskPlaced(start, task.name, task.task_id, node.name)
@@ -388,8 +828,9 @@ class SimulatedCluster:
             self.obs.events.emit(
                 TaskStarted(start, task.name, task.task_id, node.name)
             )
-        heapq.heappush(
-            events, (end, task.task_id, "complete", (task, node, alloc_id, value))
+        self._push_event(
+            events, end, task.task_id, "complete",
+            (task, node, alloc_id, value, attempt),
         )
         return True
 
@@ -431,6 +872,9 @@ class SimulatedCluster:
                     "spilled_bytes": node.memory.spilled_bytes,
                     "disk_bytes_written": node.disk.bytes_written,
                     "disk_bytes_read": node.disk.bytes_read,
+                    "failed_tasks": node.failed_tasks,
+                    "retried_tasks": node.retried_tasks,
+                    "crash_count": node.crash_count,
                 }
             )
         return rows

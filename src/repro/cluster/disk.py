@@ -18,6 +18,7 @@ class LocalDisk:
         self.node = node
         self.capacity_bytes = int(capacity_bytes)
         self._files = {}
+        self._wiped_paths = set()
         self.bytes_written = 0
         self.bytes_read = 0
 
@@ -60,8 +61,15 @@ class LocalDisk:
         return path in self._files
 
     def delete(self, path):
-        """Remove one entry; raises ``KeyError`` when absent."""
+        """Remove one entry; raises ``KeyError`` when absent.
+
+        Entries destroyed by a node crash (:meth:`wipe`) may still be
+        deleted by surviving owners; those deletes are silent no-ops.
+        """
         if path not in self._files:
+            if path in self._wiped_paths:
+                self._wiped_paths.discard(path)
+                return
             raise KeyError(f"no such file on {self.node!r}: {path}")
         del self._files[path]
 
@@ -72,3 +80,14 @@ class LocalDisk:
     def clear(self):
         """Remove all entries."""
         self._files.clear()
+
+    def wipe(self):
+        """Destroy all contents, as a disk-losing node crash does.
+
+        Remembers the destroyed paths so late :meth:`delete` calls from
+        surviving owners succeed silently.  Returns bytes lost.
+        """
+        lost = self.used_bytes
+        self._wiped_paths.update(self._files)
+        self._files.clear()
+        return lost

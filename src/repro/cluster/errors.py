@@ -43,12 +43,56 @@ class PlacementError(ClusterError):
 
 
 class TaskFailedError(ClusterError):
-    """A task body raised; wraps the original exception."""
+    """A task failed permanently; wraps the original exception.
 
-    def __init__(self, task_name, cause):
+    Carries the node the failing attempt ran on and the task's blame
+    category so crash runs are diagnosable from the error alone.
+    """
+
+    def __init__(self, task_name, cause, node=None, category=None):
         self.task_name = task_name
         self.cause = cause
-        super().__init__(f"task {task_name!r} failed: {cause!r}")
+        self.node = node
+        self.category = category
+        where = f" on node {node!r}" if node else ""
+        tag = f" [{category}]" if category else ""
+        super().__init__(f"task {task_name!r}{tag} failed{where}: {cause!r}")
+
+
+class NodeCrashedError(ClusterError):
+    """A node crashed mid-run and the recovery policy is "abort".
+
+    Engines whose recovery granularity is coarser than a task (Myria's
+    query restart, SciDB's rerun-from-ingested-array, TensorFlow's
+    whole-job rerun) catch this, perform their restart, and resubmit.
+    ``recover_at`` is the virtual time the node rejoins (``None`` when
+    it stays down).
+    """
+
+    def __init__(self, node, at_time, recover_at=None, killed_tasks=()):
+        self.node = node
+        self.at_time = at_time
+        self.recover_at = recover_at
+        self.killed_tasks = tuple(killed_tasks)
+        rejoin = (
+            f", rejoins at t={recover_at:.1f}s" if recover_at is not None
+            else ", stays down"
+        )
+        super().__init__(
+            f"node {node!r} crashed at t={at_time:.1f}s"
+            f" killing {len(self.killed_tasks)} task(s){rejoin}"
+        )
+
+
+class S3RetriesExhaustedError(ClusterError):
+    """An object-store read kept failing past the retry policy's cap."""
+
+    def __init__(self, key, attempts):
+        self.key = key
+        self.attempts = attempts
+        super().__init__(
+            f"object {key!r} unreadable after {attempts} attempt(s)"
+        )
 
 
 class GraphTooLargeError(ClusterError):

@@ -30,6 +30,7 @@ class MemoryTracker:
         self.node = node
         self.capacity_bytes = int(capacity_bytes)
         self._allocations = {}
+        self._wiped_ids = set()
         self._next_id = 0
         self.peak_bytes = 0
         self.oom_count = 0
@@ -98,8 +99,18 @@ class MemoryTracker:
         return int(nbytes) <= self.available_bytes
 
     def free(self, alloc_id):
-        """Release a previous allocation; idempotent frees are bugs."""
+        """Release a previous allocation; idempotent frees are bugs.
+
+        Allocations destroyed by a node crash (:meth:`wipe`) are the
+        one exception: owners that outlive the crash (engine caches,
+        resident pipelines) may still hold ids for wiped memory, and
+        their late frees are silent no-ops rather than bookkeeping
+        errors.
+        """
         if alloc_id not in self._allocations:
+            if alloc_id in self._wiped_ids:
+                self._wiped_ids.discard(alloc_id)
+                return
             raise KeyError(f"unknown or already-freed allocation {alloc_id}")
         nbytes = self._allocations.pop(alloc_id)
         if self._events:
@@ -113,6 +124,24 @@ class MemoryTracker:
         self._allocations.clear()
         if self._events and released:
             self._events.emit(MemoryFreed(self._now(), self.node, released, 0))
+
+    def wipe(self):
+        """Destroy all resident memory, as a node crash does.
+
+        Outstanding allocation ids are remembered so that late
+        :meth:`free` calls from surviving owners succeed silently.
+        Returns the number of bytes lost.
+        """
+        lost = self.used_bytes
+        self._wiped_ids.update(self._allocations)
+        self._allocations.clear()
+        if self._events and lost:
+            self._events.emit(MemoryFreed(self._now(), self.node, lost, 0))
+        return lost
+
+    def holds(self, alloc_id):
+        """Whether ``alloc_id`` is still a live (un-wiped) allocation."""
+        return alloc_id in self._allocations
 
     def __repr__(self):
         return (

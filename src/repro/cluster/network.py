@@ -26,9 +26,18 @@ class NetworkModel:
         self.transfer_count = 0
         self._events = events
         self._clock = clock
+        #: (src, dst) -> slowdown factor for degraded links (fault
+        #: injection); absent links run at full speed.
+        self._link_factors = {}
 
     def _now(self):
         return self._clock.now if self._clock is not None else 0.0
+
+    def set_link_factor(self, src, dst, factor):
+        """Degrade the ``src``->``dst`` link by ``factor`` (>= 1)."""
+        if factor < 1.0:
+            raise ValueError(f"link factor must be >= 1, got {factor}")
+        self._link_factors[(src, dst)] = float(factor)
 
     def transfer_time(self, nbytes, src, dst, n_messages=1):
         """Seconds to move ``nbytes`` from node ``src`` to node ``dst``.
@@ -44,6 +53,8 @@ class NetworkModel:
         else:
             self.bytes_node_to_node += nbytes
             seconds = self.cost_model.network_time(nbytes, n_messages=n_messages)
+            if self._link_factors:
+                seconds *= self._link_factors.get((src, dst), 1.0)
         if self._events:
             self._events.emit(
                 NetworkTransfer(self._now(), nbytes, src, dst, seconds)

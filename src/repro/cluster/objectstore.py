@@ -14,6 +14,20 @@ class ObjectStore:
         self._objects = {}
         self._events = None
         self._clock = None
+        self._faults = None
+        self.retry_count = 0
+        self.total_retry_delay_s = 0.0
+
+    def install_faults(self, plan):
+        """Attach a :class:`~repro.cluster.faults.FaultPlan` for reads.
+
+        Reads consult ``plan.s3_attempt_retries``; transient failures
+        are retried under the plan's retry policy, accumulating backoff
+        into :attr:`total_retry_delay_s` so the executor can charge it
+        to the reading task's duration.  Exceeding the retry cap raises
+        :class:`~repro.cluster.errors.S3RetriesExhaustedError`.
+        """
+        self._faults = plan
 
     def bind(self, events, clock):
         """Attach an event bus + clock for put/get publication.
@@ -47,7 +61,24 @@ class ObjectStore:
 
     def get(self, bucket, key):
         """Return the stored object; raises ``KeyError`` when missing."""
-        value, nbytes = self._objects[self._key(bucket, key)]
+        full = self._key(bucket, key)
+        value, nbytes = self._objects[full]
+        if self._faults is not None:
+            retries = self._faults.s3_attempt_retries(full)
+            if retries:
+                policy = self._faults.retry_policy
+                if retries >= policy.max_attempts:
+                    from repro.cluster.errors import S3RetriesExhaustedError
+
+                    raise S3RetriesExhaustedError(full, retries + 1)
+                delay = policy.total_delay(retries)
+                if (policy.timeout_s is not None
+                        and delay > policy.timeout_s):
+                    from repro.cluster.errors import S3RetriesExhaustedError
+
+                    raise S3RetriesExhaustedError(full, retries + 1)
+                self.retry_count += retries
+                self.total_retry_delay_s += delay
         if self._events:
             from repro.obs.events import ObjectGet
 

@@ -19,6 +19,7 @@ Scheduling model (calibrated to Sections 4.4, 5.1 and 5.2.1):
   released, counted against worker memory.
 """
 
+from repro.cluster.faults import dask_recovery
 from repro.cluster.task import Task
 from repro.engines.base import Engine, nominal_bytes_of
 from repro.engines.dask.delayed import Delayed, DelayedFactory
@@ -37,9 +38,14 @@ class DaskClient(Engine):
         self._results = {}          # Delayed.key -> value
         self._result_nodes = {}     # Delayed.key -> node name
         self._result_allocs = {}    # Delayed.key -> (node, alloc_id)
+        self._result_epochs = {}    # Delayed.key -> (node, crash_count)
         self._dispatch_count = 0
         self._barrier_count = 0
         self.steal_count = 0
+        self.lost_futures = 0
+        # Lost futures reschedule onto survivors; no persistence layer
+        # means recompute from the S3 inputs (Section 2).
+        cluster.install_recovery(dask_recovery())
 
     def startup_cost(self):
         """One-time engine startup in simulated seconds."""
@@ -94,6 +100,9 @@ class DaskClient(Engine):
             )
             self._results[handle.key] = value
             self._result_nodes[handle.key] = placement
+            self._result_epochs[handle.key] = (
+                placement, self.cluster.node(placement).crash_count
+            )
             if nbytes > 0:
                 node = self.cluster.node(placement)
                 alloc_id = node.memory.allocate(nbytes, handle.key)
@@ -109,6 +118,7 @@ class DaskClient(Engine):
         """Evaluate delayed nodes; returns their values (a barrier)."""
         self.ensure_started()
         graph = self._collect(delayeds)
+        self._purge_lost(graph)
         pending = [d for d in graph if d.key not in self._results]
         if pending:
             barrier = self._barrier_count
@@ -129,6 +139,7 @@ class DaskClient(Engine):
                 node.memory.free(alloc_id)
             self._results.pop(delayed_node.key, None)
             self._result_nodes.pop(delayed_node.key, None)
+            self._result_epochs.pop(delayed_node.key, None)
 
     def node_of(self, delayed_node):
         """Which node holds a computed result (no persistence layer)."""
@@ -137,6 +148,33 @@ class DaskClient(Engine):
     # ------------------------------------------------------------------
     # Scheduler internals
     # ------------------------------------------------------------------
+
+    def _purge_lost(self, graph):
+        """Drop results whose holding node crashed since they computed.
+
+        With no persistence layer a crashed worker takes its resident
+        futures with it; the scheduler transparently recomputes them on
+        the surviving nodes at the next barrier.
+        """
+        for delayed_node in graph:
+            key = delayed_node.key
+            epoch = self._result_epochs.get(key)
+            if epoch is None or key not in self._results:
+                continue
+            node_name, crash_count = epoch
+            node = (
+                self.cluster.node(node_name)
+                if node_name in self.cluster.nodes else None
+            )
+            if node is not None and node.crash_count == crash_count:
+                continue
+            alloc = self._result_allocs.pop(key, None)
+            if alloc is not None:
+                alloc[0].memory.free(alloc[1])
+            self._results.pop(key, None)
+            self._result_nodes.pop(key, None)
+            self._result_epochs.pop(key, None)
+            self.lost_futures += 1
 
     def _collect(self, delayeds):
         """Topological order over the needed subgraph."""
@@ -157,7 +195,10 @@ class DaskClient(Engine):
 
     def _schedule(self, pending):
         cm = self.cost_model
-        queue_depth = {name: 0 for name in self.cluster.node_order}
+        queue_depth = {
+            name: 0 for name in self.cluster.node_order
+            if self.cluster.node(name).alive
+        }
         cluster_tasks = {}
         dispatch_interval = cm.dask_task_overhead
         base_time = self.cluster.now
@@ -181,6 +222,9 @@ class DaskClient(Engine):
             result = results[task.task_id]
             self._results[delayed_node.key] = result.value
             self._result_nodes[delayed_node.key] = result.node
+            self._result_epochs[delayed_node.key] = (
+                result.node, self.cluster.node(result.node).crash_count
+            )
             # Results stay resident on the worker until released.
             nbytes = nominal_bytes_of(result.value)
             if nbytes > 0:
@@ -213,6 +257,10 @@ class DaskClient(Engine):
                 bytes_by_node[node] = bytes_by_node.get(node, 0) + weight
         if bytes_by_node:
             preferred = max(sorted(bytes_by_node), key=lambda n: bytes_by_node[n])
+            if preferred not in queue_depth:
+                # The byte-preferred node is down; fall back to the
+                # least-loaded survivor.
+                preferred = min(sorted(queue_depth), key=lambda n: queue_depth[n])
         else:
             preferred = min(sorted(queue_depth), key=lambda n: queue_depth[n])
 

@@ -16,6 +16,8 @@ Worker-per-node contention reproduces Figure 13: more workers increase
 parallelism until they compete for cores, memory bandwidth and disk.
 """
 
+from repro.cluster.errors import NodeCrashedError
+from repro.cluster.faults import abort_recovery
 from repro.cluster.task import Task
 from repro.engines.myria.myrial import (
     Assign,
@@ -143,6 +145,10 @@ class MyriaServer:
         self.catalog = {}
         self.udfs = _make_builtin_udfs()
         self._resident = []  # (node, alloc_id) pinned during a query
+        self._stored_this_query = []  # tables STOREd by the running attempt
+        # A worker crash aborts the running statement; the coordinator
+        # resubmits the whole query once the node rejoins (Section 2).
+        cluster.install_recovery(abort_recovery("myria-restart"))
 
     # ------------------------------------------------------------------
     # Topology
@@ -235,9 +241,20 @@ class MyriaServer:
     # Query execution
     # ------------------------------------------------------------------
 
+    #: Restart budget for crash recovery: Myria has no mid-query
+    #: checkpoints, so a worker crash means resubmitting the whole
+    #: query once the node rejoins.
+    MAX_QUERY_RESTARTS = 3
+
     def execute(self, program, mode="pipelined", chunks=1):
         """Run a parsed program; returns ``{name: Intermediate}`` for
-        every assignment plus stored relations in the catalog."""
+        every assignment plus stored relations in the catalog.
+
+        A worker-node crash aborts the running statement; the
+        coordinator rolls back relations stored by the aborted attempt,
+        waits for the node to rejoin, and resubmits the whole query (up
+        to :data:`MAX_QUERY_RESTARTS` times).
+        """
         if mode not in EXECUTION_MODES:
             raise ValueError(f"mode must be one of {EXECUTION_MODES}, got {mode!r}")
         if mode == "chunked" and chunks < 2:
@@ -248,30 +265,63 @@ class MyriaServer:
         with self.cluster.obs.span(
             "myria-query", category="myria", mode=mode, chunks=chunks,
         ):
-            self.cluster.charge_master(
-                self.cluster.cost_model.myria_query_startup,
-                label="Myria query submit",
-                category="myria-coordinator",
+            for attempt in range(self.MAX_QUERY_RESTARTS + 1):
+                self.cluster.charge_master(
+                    self.cluster.cost_model.myria_query_startup,
+                    label="Myria query submit",
+                    category="myria-coordinator",
+                )
+                self._stored_this_query = []
+                try:
+                    try:
+                        return self._execute_program(program, mode, chunks)
+                    finally:
+                        self._release_resident()
+                except NodeCrashedError as exc:
+                    if attempt >= self.MAX_QUERY_RESTARTS or exc.recover_at is None:
+                        raise
+                    self._restart_after_crash(exc, attempt)
+
+    def _execute_program(self, program, mode, chunks):
+        if chunks == 1:
+            return self._execute_once(program, mode, chunk=(0, 1))
+        merged = {}
+        for chunk_index in range(chunks):
+            partial = self._execute_once(
+                program, "materialized", chunk=(chunk_index, chunks)
             )
-            try:
-                if chunks == 1:
-                    return self._execute_once(program, mode, chunk=(0, 1))
-                merged = {}
-                for chunk_index in range(chunks):
-                    partial = self._execute_once(
-                        program, "materialized", chunk=(chunk_index, chunks)
-                    )
-                    for name, intermediate in partial.items():
-                        if name not in merged:
-                            merged[name] = intermediate
-                        else:
-                            for w in range(self.n_workers):
-                                merged[name].shards[w].extend(
-                                    intermediate.shards[w]
-                                )
-                return merged
-            finally:
-                self._release_resident()
+            for name, intermediate in partial.items():
+                if name not in merged:
+                    merged[name] = intermediate
+                else:
+                    for w in range(self.n_workers):
+                        merged[name].shards[w].extend(
+                            intermediate.shards[w]
+                        )
+        return merged
+
+    def _restart_after_crash(self, exc, attempt):
+        """Roll back the aborted attempt and wait for the node to rejoin."""
+        from repro.obs.events import QueryRestarted
+
+        for table in self._stored_this_query:
+            self.catalog.pop(table, None)
+            for storage in self.storages:
+                if storage.has_table(table):
+                    storage.drop_table(table)
+        if exc.recover_at > self.cluster.now:
+            self.cluster.charge_master(
+                exc.recover_at - self.cluster.now,
+                label="Myria restart wait",
+                category="myria-restart",
+            )
+        if self.cluster.obs.events:
+            self.cluster.obs.events.emit(
+                QueryRestarted(
+                    self.cluster.now, "Myria", attempt + 1,
+                    f"node {exc.node} crashed",
+                )
+            )
 
     #: Safety bound for DO...WHILE loops (a query bug, not a data size,
     #: if an iterative analysis needs more).
@@ -846,6 +896,7 @@ class MyriaServer:
         partition_column = intermediate.columns[0]
         sharded = ShardedRelation(table, schema, partition_column, self.n_workers)
         self.catalog[table] = sharded
+        self._stored_this_query.append(table)
         cm = self.cluster.cost_model
         all_rows = [row for shard in intermediate.shards for row in shard]
         shards = sharded.shard_rows(all_rows)

@@ -20,6 +20,7 @@ paper measures:
 
 import numpy as np
 
+from repro.cluster.faults import abort_recovery
 from repro.cluster.task import Task
 from repro.engines.base import Engine, as_costed
 from repro.engines.scidb.array import DimSpec, SciDBArray
@@ -47,6 +48,10 @@ class SciDBConnection(Engine):
             raise ValueError("instances_per_node must be positive")
         self.n_instances = cluster.spec.n_nodes * self.instances_per_node
         self.arrays = {}
+        # Without a configured replica set an instance failure makes
+        # its chunks unavailable; the query reruns from the last
+        # ingested array once the node rejoins.
+        cluster.install_recovery(abort_recovery("scidb-rerun"))
 
     def startup_cost(self):
         """One-time engine startup in simulated seconds."""

@@ -5,6 +5,7 @@ Mirrors the PySpark API surface the paper's implementation uses
 ``broadcast``, and the RDD transformation/action methods.
 """
 
+from repro.cluster.faults import spark_recovery
 from repro.engines.base import Engine
 from repro.engines.spark.broadcast import Broadcast
 from repro.engines.spark.rdd import RDD
@@ -25,6 +26,9 @@ class SparkContext(Engine):
     def __init__(self, cluster):
         super().__init__(cluster)
         self.scheduler = SparkScheduler(self)
+        # Lineage recompute with spark.task.maxFailures-style retry
+        # bounds and node blacklisting (Section 2).
+        cluster.install_recovery(spark_recovery())
 
     def startup_cost(self):
         """One-time engine startup in simulated seconds."""

@@ -15,15 +15,21 @@ from repro.engines.spark.rdd import NARROW_OPS, SOURCE_OPS, WIDE_OPS
 
 
 class Partition:
-    """A materialized partition: records resident on one node."""
+    """A materialized partition: records resident on one node.
 
-    __slots__ = ("records", "nominal_bytes", "node", "on_disk")
+    ``task`` is the simulated task that produced the partition -- the
+    lineage link downstream stages declare as a dependency, so that a
+    node crash can trigger recomputation of exactly the lost partitions.
+    """
 
-    def __init__(self, records, nominal_bytes, node, on_disk=False):
+    __slots__ = ("records", "nominal_bytes", "node", "on_disk", "task")
+
+    def __init__(self, records, nominal_bytes, node, on_disk=False, task=None):
         self.records = records
         self.nominal_bytes = int(nominal_bytes)
         self.node = node
         self.on_disk = on_disk
+        self.task = task
 
     def __repr__(self):
         return (
@@ -157,7 +163,8 @@ class SparkScheduler:
             result = results[task.task_id]
             records = result.value
             partitions.append(
-                Partition(records, nominal_bytes_of(records), result.node)
+                Partition(records, nominal_bytes_of(records), result.node,
+                          task=task)
             )
         return partitions
 
@@ -353,6 +360,10 @@ class SparkScheduler:
                     fn=run,
                     duration=cost,
                     node=partition.node,  # locality: cache lives there
+                    # Lineage link (timing-neutral: zero output bytes):
+                    # if the cached partition died with its node, the
+                    # executor recomputes it before this task runs.
+                    deps=[partition.task] if partition.task is not None else (),
                     memory_bytes=partition.nominal_bytes,
                     on_oom="spill",
                     category=category,
@@ -444,6 +455,9 @@ class SparkScheduler:
                     f"spark-stage{self.stages_run}-reduce{reducer}",
                     fn=run,
                     duration=cost,
+                    # Lineage links to every map-side partition (a wide
+                    # dependency): lost shuffle outputs recompute first.
+                    deps=[p.task for p in upstream if p.task is not None],
                     memory_bytes=in_estimate,
                     on_oom="spill",
                     category="spark-shuffle",

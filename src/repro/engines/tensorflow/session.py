@@ -8,6 +8,7 @@ barrier: feeds convert serially on the master, ops execute on their
 pinned devices, fetches convert back on the master.
 """
 
+from repro.cluster.faults import abort_recovery
 from repro.cluster.task import Task
 from repro.engines.base import Engine
 from repro.engines.tensorflow.ops import OPS, OpError
@@ -22,6 +23,9 @@ class Session(Engine):
     def __init__(self, cluster):
         super().__init__(cluster)
         self._run_count = 0
+        # No checkpointing in the paper's usage: a worker crash loses
+        # in-memory tensors and the whole job restarts from scratch.
+        cluster.install_recovery(abort_recovery("tf-rerun"))
 
     def startup_cost(self):
         """One-time engine startup in simulated seconds."""

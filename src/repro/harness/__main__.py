@@ -30,7 +30,12 @@ import sys
 
 from repro.harness import experiments as E
 from repro.harness.loc import table1_rows
-from repro.harness.report import print_breakdown, print_series, print_table
+from repro.harness.report import (
+    print_breakdown,
+    print_figure_blame,
+    print_series,
+    print_table,
+)
 from repro.harness.runner import (
     DEFAULT_NODES,
     astro_visits,
@@ -108,12 +113,16 @@ def _run_fig10h(quick):
 
 
 def _run_fig11(quick):
-    rows = E.fig11_ingest(
-        subject_counts=(1, 2) if quick else E.NEURO_SIZES,
-        profile=QUICK_NEURO if quick else None,
-    )
+    clusters = []
+    with observe_clusters(clusters.append):
+        rows = E.fig11_ingest(
+            subject_counts=(1, 2) if quick else E.NEURO_SIZES,
+            profile=QUICK_NEURO if quick else None,
+        )
     print_series(rows, "subjects", "system",
                  title="Figure 11: ingest time (simulated s, log y)")
+    print_figure_blame(clusters, title="Figure 11 blame (critical path)")
+    return rows
 
 
 def _run_fig12a(quick):
@@ -195,6 +204,21 @@ def _run_s533(quick):
                  title="Section 5.3.3: Spark input caching")
 
 
+def _run_f16(quick):
+    clusters = []
+    with observe_clusters(clusters.append):
+        rows = E.f16_recovery(
+            n_subjects=2 if quick else 4,
+            profile=QUICK_NEURO if quick else None,
+        )
+    print_table(
+        rows,
+        title="F16: recovery overhead, 1 of 16 nodes killed at 50% progress",
+    )
+    print_figure_blame(clusters, title="F16 blame (critical path)")
+    return rows
+
+
 def _run_ablation(quick):
     rows = E.ablation_scidb_incremental(
         n_visits=4 if quick else 24,
@@ -237,6 +261,7 @@ EXPERIMENTS = {
     "fig13": _run_fig13,
     "fig14": _run_fig14,
     "fig15": _run_fig15,
+    "f16": _run_f16,
     "s531": _run_s531,
     "s533": _run_s533,
     "ablation": _run_ablation,

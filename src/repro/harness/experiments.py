@@ -903,6 +903,208 @@ def ablation_scidb_incremental(n_visits=24, profile=None):
 
 
 # ----------------------------------------------------------------------
+# F16: recovery overhead under a mid-run node kill (fault injection)
+# ----------------------------------------------------------------------
+
+#: Fault-schedule seed for F16 (fixed so the checked-in ledger baseline
+#: reproduces byte-for-byte).
+F16_SEED = 16
+
+#: The killed node reboots and rejoins this many simulated seconds
+#: after the crash (an EC2 instance reboot).  This is the term that
+#: separates the recovery classes: lineage recompute proceeds on the
+#: survivors immediately, while Myria/SciDB hold hash-partitioned
+#: state on every worker and must wait the reboot out before redoing
+#: work.
+F16_RESTART_AFTER_S = 18.0
+
+F16_ENGINES = ("spark", "dask", "myria", "scidb", "tensorflow")
+
+#: Section 2's qualitative recovery claims, one label per engine.
+F16_RECOVERY = {
+    "spark": "lineage recompute",
+    "dask": "reschedule futures",
+    "myria": "query restart",
+    "scidb": "rerun from ingested array",
+    "tensorflow": "rerun from scratch",
+}
+
+
+def f16_recovery(engines=F16_ENGINES, n_subjects=2, n_nodes=DEFAULT_NODES,
+                 profile=None, restart_after_s=F16_RESTART_AFTER_S,
+                 seed=F16_SEED):
+    """Kill 1 of ``n_nodes`` at 50% progress of the neuro pipeline.
+
+    For every engine: run the pipeline fault-free to locate the halfway
+    point of its compute phase (past ingest), then rerun with a seeded
+    :class:`~repro.cluster.faults.FaultPlan` that crashes the last
+    node at that instant and reboots it ``restart_after_s`` later.
+    Spark recomputes from lineage, Dask reschedules lost futures, Myria
+    restarts the query; SciDB and TensorFlow have no recovery path, so
+    the harness plays the operator -- wait out the reboot, rerun.
+    Returns one row per engine with the recovery overhead.
+    """
+    profile = profile or NEURO_BENCH
+    subjects = neuro_subjects(n_subjects, **profile)
+    rows = []
+    for kind in engines:
+        base = _f16_baseline(kind, subjects, n_nodes)
+        baseline_s = base["end"] - base["start"]
+        crash_at = base["ingest_end"] + 0.5 * (base["end"] - base["ingest_end"])
+        faulty = _f16_faulty(
+            kind, subjects, n_nodes, crash_at, restart_after_s, seed
+        )
+        faulty_s = faulty["end"] - faulty["start"]
+        rows.append(
+            {
+                "engine": kind,
+                "recovery": F16_RECOVERY[kind],
+                "baseline_s": baseline_s,
+                "faulty_s": faulty_s,
+                "overhead_s": faulty_s - baseline_s,
+                "overhead_pct": 100.0 * (faulty_s - baseline_s) / baseline_s,
+            }
+        )
+    return rows
+
+
+def _f16_baseline(kind, subjects, n_nodes):
+    """Fault-free reference run; returns absolute phase timestamps."""
+    cluster, engine = fresh_engine(kind, n_nodes=n_nodes)
+    stage_subjects(cluster.object_store, subjects)
+    start = cluster.now
+    ingest_end = _f16_pipeline(kind, cluster, engine, subjects)
+    return {"start": start, "ingest_end": ingest_end, "end": cluster.now}
+
+
+def _f16_faulty(kind, subjects, n_nodes, crash_at, restart_after_s, seed):
+    """The same pipeline with the last node crashing at ``crash_at``."""
+    from repro.cluster.errors import NodeCrashedError
+    from repro.cluster.faults import FaultPlan
+
+    cluster, engine = fresh_engine(kind, n_nodes=n_nodes)
+    stage_subjects(cluster.object_store, subjects)
+    victim = cluster.node_order[-1]  # never the master/coordinator
+    cluster.install_faults(
+        FaultPlan(seed=seed).crash_node(
+            victim, at_time=crash_at, restart_after=restart_after_s
+        )
+    )
+    start = cluster.now
+    if kind in ("spark", "dask", "myria"):
+        # Recovery is the engine's job (executor recompute or the Myria
+        # coordinator's restart loop).
+        _f16_pipeline(kind, cluster, engine, subjects)
+        return {"start": start, "end": cluster.now, "victim": victim}
+
+    if kind == "scidb":
+        array = neuro_scidb.ingest_cohort(engine, subjects, method="aio")
+        try:
+            _f16_scidb_compute(engine, array, subjects)
+        except NodeCrashedError as exc:
+            _f16_wait_for_reboot(cluster, kind, exc)
+            _f16_scidb_compute(engine, array, subjects)
+    elif kind == "tensorflow":
+        try:
+            _f16_tf_compute(engine, subjects)
+        except NodeCrashedError as exc:
+            _f16_wait_for_reboot(cluster, kind, exc)
+            _f16_tf_compute(engine, subjects)
+    else:
+        raise ValueError(f"no F16 runner for {kind!r}")
+    return {"start": start, "end": cluster.now, "victim": victim}
+
+
+def _f16_wait_for_reboot(cluster, kind, exc):
+    """No engine-level recovery: wait for the node, then rerun."""
+    from repro.obs.events import QueryRestarted
+
+    if exc.recover_at is None:
+        raise exc
+    if exc.recover_at > cluster.now:
+        cluster.charge_master(
+            exc.recover_at - cluster.now,
+            label="wait for node reboot",
+            category="recovery-wait",
+        )
+    if cluster.obs.events:
+        cluster.obs.events.emit(
+            QueryRestarted(
+                cluster.now, kind, 1, f"node {exc.node} crashed"
+            )
+        )
+
+
+def _f16_pipeline(kind, cluster, engine, subjects):
+    """Run the neuro pipeline; returns the clock time ingest finished."""
+    if kind == "spark":
+        gtabs = gradient_tables(subjects)
+        rdd = neuro_spark.build_image_rdd(
+            engine, partitions=cluster.spec.total_slots, cache=True
+        )
+        rdd.persist_to_workers()
+        ingest_end = cluster.now
+        masks = neuro_spark.segmentation(engine, rdd, gtabs)
+        neuro_spark.denoise_and_fit(engine, rdd, gtabs, masks)
+        return ingest_end
+    if kind == "dask":
+        nodes = cluster.node_order
+        data = {}
+        for index, subject in enumerate(subjects):
+            data[subject.subject_id] = neuro_dask.download_and_filter(
+                engine, subject, workers=nodes[index % len(nodes)]
+            )
+        engine.compute([v for vols in data.values() for v in vols])
+        ingest_end = cluster.now
+        masks = {
+            s.subject_id: neuro_dask.build_mask_graph(
+                engine, s, data[s.subject_id]
+            )
+            for s in subjects
+        }
+        fa = [
+            neuro_dask.build_fit_graph(
+                engine, s, data[s.subject_id], masks[s.subject_id]
+            )
+            for s in subjects
+        ]
+        engine.compute(list(masks.values()) + fa)
+        return ingest_end
+    if kind == "myria":
+        neuro_myria.ingest(engine, subjects)
+        ingest_end = cluster.now
+        neuro_myria.run(engine, subjects, source="ingested")
+        return ingest_end
+    if kind == "scidb":
+        array = neuro_scidb.ingest_cohort(engine, subjects, method="aio")
+        ingest_end = cluster.now
+        _f16_scidb_compute(engine, array, subjects)
+        return ingest_end
+    if kind == "tensorflow":
+        ingest_end = cluster.now  # every TF run re-ingests via the master
+        _f16_tf_compute(engine, subjects)
+        return ingest_end
+    raise ValueError(f"no F16 runner for {kind!r}")
+
+
+def _f16_scidb_compute(engine, array, subjects):
+    from repro.pipelines.neuro.reference import compute_mask
+
+    masks = {i: compute_mask(s) for i, s in enumerate(subjects)}
+    filtered = neuro_scidb.filter_step_cohort(engine, array, subjects)
+    neuro_scidb.mean_step_cohort(engine, filtered)
+    neuro_scidb.denoise_step_cohort(engine, array, masks)
+
+
+def _f16_tf_compute(engine, subjects):
+    for subject in subjects:
+        filtered = neuro_tf.filter_step(engine, subject)
+        mean = neuro_tf.mean_step(engine, filtered)
+        neuro_tf.mask_step(engine, mean)
+        neuro_tf.denoise_step(engine, subject)
+
+
+# ----------------------------------------------------------------------
 # Future-work ablations (Section 6)
 # ----------------------------------------------------------------------
 

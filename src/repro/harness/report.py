@@ -49,6 +49,53 @@ def print_breakdown(cluster, metrics=None, out=print):
     out(format_breakdown(cluster, metrics=metrics))
 
 
+def figure_blame(clusters, top=None):
+    """Aggregate critical-path blame across every cluster a figure built.
+
+    Returns rows ``{"category", "kind", "seconds", "share"}`` sorted
+    largest-first; shares are of the summed makespan, so over the full
+    (untruncated) list they total 1.0.
+    """
+    from collections import defaultdict
+
+    from repro.obs import compute_critical_path
+
+    totals = defaultdict(float)
+    makespan = 0.0
+    for cluster in clusters:
+        path = compute_critical_path(cluster)
+        makespan += path.makespan
+        for row in path.blame():
+            totals[(row["category"], row["kind"])] += row["seconds"]
+    rows = [
+        {
+            "category": category,
+            "kind": kind,
+            "seconds": seconds,
+            "share": seconds / makespan if makespan else 0.0,
+        }
+        for (category, kind), seconds in totals.items()
+    ]
+    rows.sort(key=lambda r: (-r["seconds"], r["category"], r["kind"]))
+    return rows[:top] if top else rows
+
+
+def print_figure_blame(clusters, title="blame (critical path)", top=8,
+                       out=print):
+    """Annotate a figure with where its simulated time actually went."""
+    rows = figure_blame(clusters, top=top)
+    display = [
+        {
+            "category": r["category"],
+            "kind": r["kind"],
+            "seconds": r["seconds"],
+            "share": f"{r['share']:.1%}",
+        }
+        for r in rows
+    ]
+    print_table(display, title=title, out=out)
+
+
 def pivot(rows, index, column, value="simulated_s"):
     """Pivot long-form rows into a grid: one row per ``index`` value,
     one column per ``column`` value."""

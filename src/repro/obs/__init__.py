@@ -51,8 +51,11 @@ from repro.obs.events import (
     MemoryOOM,
     MemorySpilled,
     NetworkTransfer,
+    NodeCrashed,
+    NodeRecovered,
     ObjectGet,
     ObjectPut,
+    QueryRestarted,
     S3Download,
     SpanClosed,
     SpanOpened,
@@ -60,6 +63,7 @@ from repro.obs.events import (
     TaskFinished,
     TaskPlaced,
     TaskQueued,
+    TaskRetried,
     TaskStarted,
 )
 from repro.obs.metrics import (
@@ -94,10 +98,13 @@ __all__ = [
     "MemorySpilled",
     "MetricsRegistry",
     "NetworkTransfer",
+    "NodeCrashed",
+    "NodeRecovered",
     "ObjectGet",
     "ObjectPut",
     "Observability",
     "PathSegment",
+    "QueryRestarted",
     "S3Download",
     "Span",
     "SpanClosed",
@@ -108,6 +115,7 @@ __all__ = [
     "TaskPlaced",
     "TaskQueued",
     "TaskRecord",
+    "TaskRetried",
     "TaskStarted",
     "blame_category",
     "chrome_trace",

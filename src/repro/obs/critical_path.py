@@ -34,7 +34,9 @@ from repro.obs.breakdown import default_grouper, records_of
 EXTENT_KINDS = ("compute", "transfer", "spill")
 
 #: Segment kinds for time a ready task spent waiting to start.
-WAIT_KINDS = ("dispatch-delay", "memory-wait", "resource-wait")
+#: ``recovery-wait`` covers the ready->start gap of retried/recomputed
+#: task attempts (failure detection plus retry backoff).
+WAIT_KINDS = ("dispatch-delay", "memory-wait", "resource-wait", "recovery-wait")
 
 _EPS = 1e-9
 
@@ -201,15 +203,22 @@ def compute_critical_path(source):
         # first, then memory/slot contention.
         ready = r.ready if r.ready is not None else r.start
         if ready < frontier - _EPS:
-            wait_kind = "memory-wait" if r.mem_deferred else "resource-wait"
-            floor = r.not_before or 0.0
-            if floor > ready + _EPS:
-                floor_end = min(floor, frontier)
-                emit(wait_kind, r, floor_end, frontier)
-                emit("dispatch-delay", r, ready, floor_end)
+            if getattr(r, "retried", False):
+                # A retried attempt's whole ready->start gap (failure
+                # detection, retry backoff, waiting for a survivor
+                # slot) is recovery overhead.
+                emit("recovery-wait", r, ready, frontier)
+                frontier = ready
             else:
-                emit(wait_kind, r, ready, frontier)
-            frontier = ready
+                wait_kind = "memory-wait" if r.mem_deferred else "resource-wait"
+                floor = r.not_before or 0.0
+                if floor > ready + _EPS:
+                    floor_end = min(floor, frontier)
+                    emit(wait_kind, r, floor_end, frontier)
+                    emit("dispatch-delay", r, ready, floor_end)
+                else:
+                    emit(wait_kind, r, ready, frontier)
+                frontier = ready
 
         if frontier <= epoch + _EPS:
             # Sub-epsilon residue (degenerate scales): idle-fill so the
@@ -218,11 +227,17 @@ def compute_critical_path(source):
             break
 
         # Binding dependency: the predecessor whose completion made this
-        # task ready (its end coincides with the frontier).
+        # task ready (its end coincides with the frontier).  A dep that
+        # starts at/after the frontier cannot explain it causally --
+        # that happens when a crashed node's results were recomputed
+        # *after* a consumer that read the originals; following it would
+        # move the frontier backward-in-causality (forward in time).
         binding = [
             by_id[d]
             for d in r.dep_ids
-            if d in by_id and by_id[d].end >= frontier - 1e-6
+            if d in by_id
+            and by_id[d].end >= frontier - 1e-6
+            and by_id[d].start < frontier - _EPS
         ]
         if binding:
             current = max(binding, key=order_key)

@@ -71,6 +71,42 @@ class TaskFailed(Event):
     error: str
 
 
+# -- faults and recovery -----------------------------------------------
+
+@dataclass(frozen=True)
+class NodeCrashed(Event):
+    """A node died: its slots, memory and in-flight tasks are gone."""
+
+    node: str
+    killed_tasks: tuple
+
+
+@dataclass(frozen=True)
+class NodeRecovered(Event):
+    """A crashed node rejoined the cluster with empty state."""
+
+    node: str
+
+
+@dataclass(frozen=True)
+class TaskRetried(Event):
+    """A failed/killed task attempt was requeued for another try."""
+
+    name: str
+    task_id: int
+    node: str
+    attempt: int
+
+
+@dataclass(frozen=True)
+class QueryRestarted(Event):
+    """An engine restarted a whole query/job after a crash."""
+
+    engine: str
+    attempt: int
+    reason: str
+
+
 # -- data movement -----------------------------------------------------
 
 @dataclass(frozen=True)

@@ -126,12 +126,13 @@ class TaskRecord:
         "compute_s",
         "spill_s",
         "dep_ids",
+        "retried",
     )
 
     def __init__(self, name, node, start, end, span=None, task_id=None,
                  category=None, queued=None, ready=None, not_before=0.0,
                  mem_deferred=False, transfer_s=0.0, compute_s=None,
-                 spill_s=0.0, dep_ids=()):
+                 spill_s=0.0, dep_ids=(), retried=False):
         self.name = name
         self.node = node
         self.start = start
@@ -151,6 +152,7 @@ class TaskRecord:
         self.compute_s = compute_s
         self.spill_s = spill_s
         self.dep_ids = tuple(dep_ids)
+        self.retried = retried
 
     @property
     def duration(self):
