@@ -9,6 +9,7 @@ clock are all handled here, so that engines only need to express the
 """
 
 import heapq
+from bisect import insort
 
 from repro.cluster.clock import VirtualClock
 from repro.cluster.costs import DEFAULT_COST_MODEL
@@ -36,6 +37,71 @@ from repro.obs.events import (
     TaskRetried,
     TaskStarted,
 )
+
+
+class AdmissionQueue:
+    """Tasks eligible to start, kept permanently sorted by ``task_id``.
+
+    The executor used to keep a plain ``ready`` list and re-sort it
+    after every completion, retry and requeue (three copies of the same
+    ``append`` + ``sort`` idiom, O(n log n) per event).  This queue is
+    the one admission path: it maintains the sorted invariant
+    incrementally -- single admissions are binary insertions, batches
+    are sort-then-merge -- so a scan can hand the backing list out
+    wholesale and iteration order is exactly the old fully-sorted
+    order.  Memory-deferred (OOM-wait) tasks re-enter through the same
+    queue, so they compete with newly-ready tasks in plain task-id
+    order instead of being prepended ahead of tasks with smaller ids.
+
+    Entries are ``(task_id, task)`` pairs; ids are unique, so tuple
+    comparison never reaches the task object.
+    """
+
+    __slots__ = ("_entries",)
+
+    def __init__(self):
+        self._entries = []
+
+    def __bool__(self):
+        return bool(self._entries)
+
+    def __len__(self):
+        return len(self._entries)
+
+    def clear(self):
+        """Drop every entry (schedule rebuilds start from scratch)."""
+        del self._entries[:]
+
+    def admit(self, task):
+        """Insert one task, preserving task-id order."""
+        insort(self._entries, (task.task_id, task))
+
+    def admit_all(self, tasks):
+        """Insert a batch: sort the newcomers once, then linear-merge."""
+        new = sorted((t.task_id, t) for t in tasks)
+        if not new:
+            return
+        if self._entries:
+            self._entries = list(heapq.merge(self._entries, new))
+        else:
+            self._entries = new
+
+    def take(self):
+        """Remove and return every entry, in task-id order."""
+        entries = self._entries
+        self._entries = []
+        return entries
+
+    def put_back(self, entries):
+        """Restore (still-sorted) entries a scan did not consume."""
+        if self._entries:
+            self._entries = list(heapq.merge(entries, self._entries))
+        else:
+            self._entries = entries
+
+    def first(self):
+        """The lowest-id task (error reporting)."""
+        return self._entries[0][1]
 
 
 class Node:
@@ -251,7 +317,7 @@ class SimulatedCluster:
 
         waiting_deps = {}
         dependents = {}
-        ready = []
+        ready = AdmissionQueue()
         events = []  # heap of (time, tiebreak, kind, payload)
         run_results = {}
         oom_waiting = []
@@ -259,6 +325,10 @@ class SimulatedCluster:
         cancelled = set()
         initial_total = len(pending)
         completions = 0
+        #: Count of "crash"/"recover" entries currently in the heap, so
+        #: the only-fault-events-left check is O(1) per event instead
+        #: of a scan of the whole heap.
+        heap_faults = [0]
 
         def rebuild_schedule(time):
             """(Re)derive readiness state from ``pending``.
@@ -269,8 +339,9 @@ class SimulatedCluster:
             """
             waiting_deps.clear()
             dependents.clear()
-            del ready[:]
+            ready.clear()
             oom_waiting.clear()
+            runnable = []
             for task in pending.values():
                 if (task.task_id in self.completed
                         or task.task_id in self._inflight):
@@ -314,9 +385,9 @@ class SimulatedCluster:
                 elif info.get("ready") is None:
                     info["ready"] = time
                 if not open_deps:
-                    ready.append(task)
+                    runnable.append(task)
             # FIFO by task id keeps scheduling deterministic.
-            ready.sort(key=lambda t: t.task_id)
+            ready.admit_all(runnable)
 
         def fire_crash(crash, time):
             """Kill a node: wipe its state, then recover per policy."""
@@ -359,6 +430,7 @@ class SimulatedCluster:
             if crash.restart_after is not None:
                 recover_at = time + crash.restart_after
                 self._pending_recover[node.name] = recover_at
+                heap_faults[0] += 1
                 self._push_event(
                     events, recover_at, self._next_fault_tiebreak(),
                     "recover", node.name,
@@ -431,26 +503,60 @@ class SimulatedCluster:
             rebuild_schedule(time)
 
         def start_candidates():
+            entries = ready.take()
+            if not entries:
+                return
+            # Free slots across usable nodes: once this hits zero no
+            # further placement can succeed, so the remaining ready
+            # tasks skip their O(nodes) placement scans entirely.
+            free = 0
+            for node in self.nodes.values():
+                if node.alive and node.name not in self._blacklisted:
+                    free += node.free_slots
+            now = self.now
             still_ready = []
-            for task in ready:
-                if task.not_before > self.now:
+            for entry in entries:
+                task = entry[1]
+                if task.not_before > now:
                     if task.task_id not in timers_set:
                         timers_set.add(task.task_id)
                         self._push_event(
                             events, task.not_before, task.task_id, "timer", None
                         )
-                    still_ready.append(task)
+                    still_ready.append(entry)
+                    continue
+                if free <= 0:
+                    # Nothing can start, but a task pinned to a dead or
+                    # blacklisted node must still shed (or surface) its
+                    # stale pin exactly as _place would.
+                    if task.node is not None:
+                        pinned = self.node(task.node)
+                        if (not pinned.alive
+                                or pinned.name in self._blacklisted):
+                            if (self.recovery_policy.mode
+                                    == RecoveryPolicy.RECOMPUTE):
+                                task.node = None
+                            else:
+                                raise NodeCrashedError(
+                                    pinned.name, now,
+                                    recover_at=self._pending_recover.get(
+                                        pinned.name
+                                    ),
+                                )
+                    still_ready.append(entry)
                     continue
                 node = self._place(task)
                 if node is None:
-                    still_ready.append(task)
+                    still_ready.append(entry)
                     continue
                 started = self._try_start(task, node, events)
                 if started is None:
                     # Memory admission deferred the task.
                     self._sched_info[task.task_id]["mem_deferred"] = True
                     oom_waiting.append(task)
-            ready[:] = still_ready
+                else:
+                    free -= 1
+            ready.put_back(still_ready)
 
         def check_progress_crashes(time):
             if self._faults is None or initial_total == 0:
@@ -469,6 +575,7 @@ class SimulatedCluster:
                 if at <= self.now:
                     self._revive(name)
                 else:
+                    heap_faults[0] += 1
                     self._push_event(
                         events, at, self._next_fault_tiebreak(), "recover", name
                     )
@@ -477,6 +584,7 @@ class SimulatedCluster:
                 for crash in self._faults.crashes:
                     if crash.fired or crash.at_time is None:
                         continue
+                    heap_faults[0] += 1
                     self._push_event(
                         events, max(crash.at_time, self.now),
                         self._next_fault_tiebreak(), "crash", crash,
@@ -484,14 +592,19 @@ class SimulatedCluster:
 
             start_candidates()
             if not events and (ready or oom_waiting):
+                blocked = ready.first() if ready else oom_waiting[0]
                 raise TaskFailedError(
-                    (ready + oom_waiting)[0].name,
+                    blocked.name,
                     RuntimeError("no task could start: cluster has no usable slot"),
                 )
 
+            inflight = self._inflight
+            advance_to = self.clock.advance_to
+            record_task = self.obs.record_task
+            sched_info = self._sched_info
             while events:
-                if (not self._inflight and not ready and not oom_waiting
-                        and all(e[3] in ("crash", "recover") for e in events)):
+                if (not inflight and not ready and not oom_waiting
+                        and len(events) == heap_faults[0]):
                     # Only future fault events remain.  If the DAG is
                     # done, leave them for the next run instead of
                     # advancing the clock past the real makespan.
@@ -517,7 +630,9 @@ class SimulatedCluster:
                         # event without advancing the clock.
                         cancelled.discard(key)
                         continue
-                self.clock.advance_to(time)
+                elif kind in ("crash", "recover"):
+                    heap_faults[0] -= 1
+                advance_to(time)
                 if kind == "crash":
                     if not payload.fired:
                         fire_crash(payload, time)
@@ -527,7 +642,7 @@ class SimulatedCluster:
                     self._handle_task_fail(payload, time, ready, timers_set)
                 elif kind == "complete":
                     task, node, alloc_id, value, _attempt = payload
-                    self._inflight.pop(task.task_id, None)
+                    inflight.pop(task.task_id, None)
                     node.busy_slots -= 1
                     if alloc_id is not None:
                         node.memory.free(alloc_id)
@@ -537,8 +652,8 @@ class SimulatedCluster:
                     self.completed[task.task_id] = result
                     run_results[task.task_id] = result
                     self.task_trace.append((task.name, node.name, result.start_time, time))
-                    info = self._sched_info.get(task.task_id, {})
-                    self.obs.record_task(
+                    info = sched_info.get(task.task_id, {})
+                    record_task(
                         task.name, node.name, result.start_time, time,
                         task_id=task.task_id,
                         category=info.get("category_override") or task.category,
@@ -559,21 +674,25 @@ class SimulatedCluster:
                                 result.start_time,
                             )
                         )
+                    newly_ready = []
                     for child in dependents.get(task.task_id, ()):
                         waiting_deps[child.task_id] -= 1
                         if waiting_deps[child.task_id] == 0:
-                            self._sched_info[child.task_id]["ready"] = time
-                            ready.append(child)
-                    ready.sort(key=lambda t: t.task_id)
-                    # Retry memory-deferred tasks now that memory may have freed.
+                            sched_info[child.task_id]["ready"] = time
+                            newly_ready.append(child)
+                    # Retry memory-deferred tasks now that memory may
+                    # have freed; they re-enter the admission queue in
+                    # plain task-id order alongside newly-ready tasks.
                     if oom_waiting:
-                        ready[:0] = sorted(oom_waiting, key=lambda t: t.task_id)
+                        newly_ready.extend(oom_waiting)
                         oom_waiting.clear()
+                    if newly_ready:
+                        ready.admit_all(newly_ready)
                     completions += 1
                     check_progress_crashes(time)
                 start_candidates()
                 if not events and (ready or oom_waiting):
-                    blocked = (ready + oom_waiting)[0]
+                    blocked = ready.first() if ready else oom_waiting[0]
                     raise TaskFailedError(
                         blocked.name,
                         RuntimeError(
@@ -632,8 +751,7 @@ class SimulatedCluster:
         timers_set.discard(tid)
         if bus:
             bus.emit(TaskRetried(time, task.name, tid, node.name, attempts + 1))
-        ready.append(task)
-        ready.sort(key=lambda t: t.task_id)
+        ready.admit(task)
 
     def _collect(self, tasks):
         """Transitively gather the task set, keyed by id.

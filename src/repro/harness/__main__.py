@@ -4,15 +4,26 @@ Usage::
 
     python -m repro.harness --list
     python -m repro.harness table1 fig10a fig12a
-    python -m repro.harness fig10c --quick
+    python -m repro.harness fig10c --quick --jobs 4
     python -m repro.harness all --quick
     python -m repro.harness trace neuro --engine spark --out trace.json
     python -m repro.harness ledger fig12c --quick
+    python -m repro.harness ledger --figure fig10c --jobs 4 --quick
     python -m repro.harness compare benchmarks/ledger/fig12c-quick.json new.json
+    python -m repro.harness bench --jobs 4
 
 ``--quick`` swaps the benchmark dataset profile for a miniature one, so
 every experiment finishes in seconds (shapes are still indicative but
 noisier; the pytest benchmark suite asserts them at the full profile).
+
+``--jobs N`` fans a figure's independent trials across N worker
+processes; results are byte-identical to ``--jobs 1`` (DESIGN.md
+section 11).  Trials are cached content-addressed under
+``.harness-cache/`` (or ``$REPRO_CACHE_DIR``) so re-running a figure
+replays instantly; ``--no-cache`` disables that, and any edit to the
+``repro`` source tree or a relevant cost constant invalidates the
+affected entries automatically.  ``bench`` times serial vs parallel vs
+warm-cache execution per figure and writes ``BENCH_harness.json``.
 
 The ``trace`` subcommand runs one experiment with the observability
 layer attached, prints the "where did the time go" breakdown (plus the
@@ -29,11 +40,13 @@ import json
 import sys
 
 from repro.harness import experiments as E
+from repro.harness.cache import TrialCache
 from repro.harness.loc import table1_rows
+from repro.harness.parallel import collecting_snapshots, configured
 from repro.harness.report import (
     print_breakdown,
-    print_figure_blame,
     print_series,
+    print_snapshot_blame,
     print_table,
 )
 from repro.harness.runner import (
@@ -113,15 +126,15 @@ def _run_fig10h(quick):
 
 
 def _run_fig11(quick):
-    clusters = []
-    with observe_clusters(clusters.append):
+    with collecting_snapshots() as collected:
         rows = E.fig11_ingest(
             subject_counts=(1, 2) if quick else E.NEURO_SIZES,
             profile=QUICK_NEURO if quick else None,
         )
     print_series(rows, "subjects", "system",
                  title="Figure 11: ingest time (simulated s, log y)")
-    print_figure_blame(clusters, title="Figure 11 blame (critical path)")
+    print_snapshot_blame(collected.snapshots,
+                         title="Figure 11 blame (critical path)")
     return rows
 
 
@@ -205,8 +218,7 @@ def _run_s533(quick):
 
 
 def _run_f16(quick):
-    clusters = []
-    with observe_clusters(clusters.append):
+    with collecting_snapshots() as collected:
         rows = E.f16_recovery(
             n_subjects=2 if quick else 4,
             profile=QUICK_NEURO if quick else None,
@@ -215,7 +227,8 @@ def _run_f16(quick):
         rows,
         title="F16: recovery overhead, 1 of 16 nodes killed at 50% progress",
     )
-    print_figure_blame(clusters, title="F16 blame (critical path)")
+    print_snapshot_blame(collected.snapshots,
+                         title="F16 blame (critical path)")
     return rows
 
 
@@ -375,7 +388,14 @@ def _trace_main(argv):
 
 
 def build_experiment_snapshot(name, quick=True):
-    """Run one experiment id and snapshot every cluster it builds."""
+    """Run one experiment id and snapshot every cluster it builds.
+
+    Grid experiments report their runs through the trial executor's
+    snapshot sink (so they work at ``--jobs N`` and from the cache,
+    where the parent never holds the cluster objects); experiments not
+    yet routed through :func:`repro.harness.parallel.run_grid` fall
+    back to observing the clusters directly.
+    """
     from repro.obs import run_snapshot
     from repro.obs.breakdown import records_of, summarize_records
     from repro.obs.ledger import experiment_snapshot
@@ -385,15 +405,23 @@ def build_experiment_snapshot(name, quick=True):
             f"unknown experiment {name!r}; use --list to see choices"
         )
     clusters = []
-    with observe_clusters(clusters.append):
+    with observe_clusters(clusters.append), \
+            collecting_snapshots() as collected:
         EXPERIMENTS[name](quick)
-    runs = []
-    for index, cluster in enumerate(clusters):
-        groups = summarize_records(records_of(cluster))
-        top_group = groups[0]["group"] if groups else "empty"
-        runs.append(
-            run_snapshot(cluster, label=f"{index:02d}-{top_group}")
-        )
+    if collected.snapshots:
+        runs = []
+        for index, snapshot in enumerate(collected.snapshots):
+            snapshot = dict(snapshot)
+            snapshot["label"] = f"{index:02d}-{snapshot['label']}"
+            runs.append(snapshot)
+    else:
+        runs = []
+        for index, cluster in enumerate(clusters):
+            groups = summarize_records(records_of(cluster))
+            top_group = groups[0]["group"] if groups else "empty"
+            runs.append(
+                run_snapshot(cluster, label=f"{index:02d}-{top_group}")
+            )
     scale = {
         "quick": bool(quick),
         "neuro_profile": QUICK_NEURO if quick else None,
@@ -414,32 +442,49 @@ def _ledger_main(argv):
         description="Run experiments and write versioned ledger snapshots"
         " (makespan, blame, bytes, memory) for regression tracking.",
     )
-    parser.add_argument("experiments", nargs="+",
+    parser.add_argument("experiments", nargs="*",
                         help="experiment ids (see --list), or 'all'")
+    parser.add_argument("--figure", action="append", dest="figures",
+                        default=[], metavar="ID",
+                        help="experiment id to run (repeatable; alias for"
+                        " the positional form)")
     parser.add_argument("--quick", action="store_true",
                         help="miniature datasets (the checked-in baselines"
                         " use this)")
     parser.add_argument("--out-dir", default="benchmarks/ledger",
                         help="directory snapshots are written into")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for independent trials"
+                        " (results are byte-identical to --jobs 1)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the content-addressed trial cache")
     args = parser.parse_args(argv)
 
-    names = (
-        list(EXPERIMENTS) if args.experiments == ["all"] else args.experiments
-    )
+    requested = list(args.experiments) + list(args.figures)
+    if not requested:
+        parser.error("no experiments given (positional ids or --figure)")
+    names = list(EXPERIMENTS) if requested == ["all"] else requested
     for name in names:
         if name not in EXPERIMENTS:
             parser.error(
                 f"unknown experiment {name!r}; use --list to see choices"
             )
     os.makedirs(args.out_dir, exist_ok=True)
-    for name in names:
-        with contextlib.redirect_stdout(sys.stderr):
-            snapshot = build_experiment_snapshot(name, quick=args.quick)
-        suffix = "-quick" if args.quick else ""
-        path = os.path.join(args.out_dir, f"{name}{suffix}.json")
-        write_snapshot(snapshot, path)
-        print(f"wrote {path} (makespan {snapshot['total_makespan_s']:.1f}s,"
-              f" {len(snapshot['runs'])} run(s))")
+    cache = None if args.no_cache else TrialCache()
+    with configured(jobs=args.jobs, cache=cache):
+        for name in names:
+            with contextlib.redirect_stdout(sys.stderr):
+                snapshot = build_experiment_snapshot(name, quick=args.quick)
+            suffix = "-quick" if args.quick else ""
+            path = os.path.join(args.out_dir, f"{name}{suffix}.json")
+            write_snapshot(snapshot, path)
+            print(
+                f"wrote {path} (makespan {snapshot['total_makespan_s']:.1f}s,"
+                f" {len(snapshot['runs'])} run(s))"
+            )
+    if cache is not None and (cache.hits or cache.misses):
+        print(f"trial cache: {cache.hits} hit(s), {cache.misses} miss(es)",
+              file=sys.stderr)
     return 0
 
 
@@ -467,6 +512,17 @@ def _compare_main(argv):
     args = parser.parse_args(argv)
 
     try:
+        with open(args.baseline) as fh:
+            raw_baseline = json.load(fh)
+        with open(args.candidate) as fh:
+            raw_candidate = json.load(fh)
+    except (OSError, ValueError) as exc:
+        parser.error(str(exc))
+    if ("bench_schema_version" in raw_baseline
+            and "bench_schema_version" in raw_candidate):
+        return _compare_bench(raw_baseline, raw_candidate, as_json=args.json)
+
+    try:
         baseline = load_snapshot(args.baseline)
         candidate = load_snapshot(args.candidate)
     except (OSError, ValueError) as exc:
@@ -479,6 +535,154 @@ def _compare_main(argv):
     return 1 if report["makespan"]["regression"] else 0
 
 
+def _compare_bench(baseline, candidate, as_json=False):
+    """Diff two ``BENCH_harness.json`` files (report-only: wall-clock
+    depends on the machine, so bench deltas never fail the build)."""
+    figures = sorted(
+        set(baseline.get("figures", {})) | set(candidate.get("figures", {}))
+    )
+    rows = []
+    for name in figures:
+        b = baseline.get("figures", {}).get(name, {})
+        c = candidate.get("figures", {}).get(name, {})
+        row = {"figure": name}
+        for key in ("serial_s", "parallel_s", "warm_s"):
+            b_v, c_v = b.get(key), c.get(key)
+            row[f"baseline_{key}"] = b_v
+            row[f"candidate_{key}"] = c_v
+            if b_v and c_v:
+                row[f"{key}_ratio"] = round(c_v / b_v, 3)
+        row["baseline_cache_hits"] = b.get("cache_hits")
+        row["candidate_cache_hits"] = c.get("cache_hits")
+        rows.append(row)
+    report = {
+        "bench_compare": True,
+        "baseline_jobs": baseline.get("jobs"),
+        "candidate_jobs": candidate.get("jobs"),
+        "figures": rows,
+    }
+    if as_json:
+        print(json.dumps(report, indent=1, sort_keys=True))
+        return 0
+    print("Harness bench comparison (wall-clock; report only)")
+    for row in rows:
+        parts = [row["figure"]]
+        for key in ("serial_s", "parallel_s", "warm_s"):
+            b_v = row.get(f"baseline_{key}")
+            c_v = row.get(f"candidate_{key}")
+            if b_v is not None and c_v is not None:
+                ratio = row.get(f"{key}_ratio")
+                parts.append(
+                    f"{key} {b_v:.2f}s -> {c_v:.2f}s"
+                    + (f" (x{ratio:.2f})" if ratio else "")
+                )
+        print("  " + "; ".join(parts))
+    return 0
+
+
+#: Figures the self-benchmark times by default: the two end-to-end
+#: grids the CI parallel job replays plus the per-step figure.
+BENCH_FIGURES = ("fig10c", "fig11", "fig12c")
+
+#: ``BENCH_harness.json`` layout version.
+BENCH_SCHEMA_VERSION = 1
+
+
+def _bench_main(argv):
+    """``python -m repro.harness bench`` entry point.
+
+    For each figure: one serial uncached run, one parallel cold-cache
+    run, one parallel warm-cache run.  Writes wall-clock seconds and
+    cache hit counts to ``BENCH_harness.json`` -- the harness's own
+    perf trajectory, the way ``benchmarks/ledger/`` tracks the
+    simulated clusters'.
+    """
+    import contextlib
+    import os
+    import shutil
+    import tempfile
+    import time
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness bench",
+        description="Self-benchmark the harness: serial vs parallel vs"
+        " warm-cache wall-clock per figure.",
+    )
+    parser.add_argument("figures", nargs="*", default=None,
+                        help=f"figures to time (default {' '.join(BENCH_FIGURES)})")
+    parser.add_argument("--jobs", type=int,
+                        default=min(4, os.cpu_count() or 1),
+                        help="worker processes for the parallel runs")
+    parser.add_argument("--full", action="store_true",
+                        help="benchmark at the full dataset profile"
+                        " (default: --quick profiles)")
+    parser.add_argument("--out", default="BENCH_harness.json",
+                        help="output path (default BENCH_harness.json)")
+    args = parser.parse_args(argv)
+
+    names = args.figures or list(BENCH_FIGURES)
+    for name in names:
+        if name not in EXPERIMENTS:
+            parser.error(
+                f"unknown experiment {name!r}; use --list to see choices"
+            )
+    quick = not args.full
+    results = {}
+    with open(os.devnull, "w") as devnull:
+        for name in names:
+            run = EXPERIMENTS[name]
+            cache_dir = tempfile.mkdtemp(prefix="repro-bench-cache-")
+            try:
+                with contextlib.redirect_stdout(devnull):
+                    start = time.perf_counter()
+                    with configured(jobs=1, cache=None):
+                        run(quick)
+                    serial_s = time.perf_counter() - start
+
+                    cold = TrialCache(cache_dir)
+                    start = time.perf_counter()
+                    with configured(jobs=args.jobs, cache=cold):
+                        run(quick)
+                    parallel_s = time.perf_counter() - start
+
+                    warm = TrialCache(cache_dir)
+                    start = time.perf_counter()
+                    with configured(jobs=args.jobs, cache=warm):
+                        run(quick)
+                    warm_s = time.perf_counter() - start
+            finally:
+                shutil.rmtree(cache_dir, ignore_errors=True)
+            results[name] = {
+                "serial_s": round(serial_s, 3),
+                "parallel_s": round(parallel_s, 3),
+                "warm_s": round(warm_s, 3),
+                "jobs": args.jobs,
+                "cache_hits": warm.hits,
+                "cache_misses": warm.misses,
+                "speedup": round(serial_s / parallel_s, 2)
+                if parallel_s else None,
+                "warm_over_cold": round(warm_s / parallel_s, 3)
+                if parallel_s else None,
+            }
+            row = results[name]
+            print(f"{name}: serial {row['serial_s']:.2f}s,"
+                  f" parallel(x{args.jobs}) {row['parallel_s']:.2f}s"
+                  f" (speedup {row['speedup']}),"
+                  f" warm cache {row['warm_s']:.2f}s"
+                  f" ({row['cache_hits']} hit(s))")
+    document = {
+        "bench_schema_version": BENCH_SCHEMA_VERSION,
+        "quick": quick,
+        "jobs": args.jobs,
+        "figures": results,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(document, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
 def main(argv=None):
     """CLI entry point."""
     if argv is None:
@@ -489,6 +693,8 @@ def main(argv=None):
         return _ledger_main(argv[1:])
     if argv and argv[0] == "compare":
         return _compare_main(argv[1:])
+    if argv and argv[0] == "bench":
+        return _bench_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",
         description="Regenerate tables/figures from the paper's evaluation.",
@@ -501,6 +707,11 @@ def main(argv=None):
                         help="list experiment ids and exit")
     parser.add_argument("--quick", action="store_true",
                         help="miniature datasets (seconds instead of minutes)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for independent trials"
+                        " (results are byte-identical to --jobs 1)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the content-addressed trial cache")
     args = parser.parse_args(argv)
 
     if args.list or not args.experiments:
@@ -514,8 +725,11 @@ def main(argv=None):
             parser.error(
                 f"unknown experiment {name!r}; use --list to see choices"
             )
-        EXPERIMENTS[name](args.quick)
-        print()
+    cache = None if args.no_cache else TrialCache()
+    with configured(jobs=args.jobs, cache=cache):
+        for name in names:
+            EXPERIMENTS[name](args.quick)
+            print()
     return 0
 
 

@@ -1,0 +1,192 @@
+"""Content-addressed trial cache for the experiment harness.
+
+Every figure is a grid of independent *trials* (one engine on one data
+size on one cluster size).  A trial is pure: its rows and ledger
+snapshots are a deterministic function of (a) the trial function and
+its arguments, (b) the engine kind, (c) the cost-model constants that
+engine consumes, (d) any fault plan, and (e) the simulator/harness
+code itself.  The cache keys on exactly those inputs, so
+
+* re-running a figure or a ledger compare replays cached trials
+  instantly, and
+* recalibrating a cost constant invalidates precisely the trials whose
+  engine reads that constant -- a ``spark_task_overhead`` change does
+  not evict Dask or SciDB trials, while a shared constant such as
+  ``network_bandwidth`` evicts everything.
+
+The code-version salt is a hash of the ``repro`` source tree: any
+source edit (new scheduling order, new blame category, ...) cold-starts
+the cache rather than serving stale simulations.
+"""
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+
+from repro.cluster.costs import CostModel
+
+#: Bump when the cached payload layout changes incompatibly.
+CACHE_SCHEMA_VERSION = 1
+
+#: Environment variable overriding the cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Default cache directory (relative to the working directory).
+DEFAULT_CACHE_DIR = ".harness-cache"
+
+#: Field-name prefix -> the one engine kind that reads such constants.
+_ENGINE_PREFIXES = {
+    "spark_": "spark",
+    "myria_": "myria",
+    "dask_": "dask",
+    "scidb_": "scidb",
+    "tf_": "tensorflow",
+}
+
+#: Unprefixed constants consumed by a strict subset of the engines
+#: (verified against the cost-model method call sites).  Anything not
+#: listed here or matched by a prefix is treated as shared by every
+#: engine -- over-invalidation is safe, under-invalidation is not.
+_CONSTANT_ENGINES = {
+    "python_boundary_bandwidth": ("spark",),
+    "tensor_convert_bandwidth": ("tensorflow",),
+    "csv_encode_bandwidth": ("scidb",),
+    "csv_decode_bandwidth": ("scidb",),
+    "pickle_bandwidth": ("spark", "myria", "dask"),
+    "unpickle_bandwidth": ("spark", "myria", "dask"),
+}
+
+
+def constant_engines(name):
+    """Engine kinds whose simulations depend on cost constant ``name``.
+
+    Returns ``None`` when the constant is shared by every engine.
+    """
+    for prefix, engine in _ENGINE_PREFIXES.items():
+        if name.startswith(prefix):
+            return (engine,)
+    return _CONSTANT_ENGINES.get(name)
+
+
+def relevant_constants(cost_model, engine=None):
+    """The cost constants a trial on ``engine`` actually depends on.
+
+    With ``engine=None`` (a trial that mixes engines) every constant is
+    relevant.
+    """
+    constants = dataclasses.asdict(cost_model)
+    if engine is None:
+        return constants
+    out = {}
+    for name, value in constants.items():
+        engines = constant_engines(name)
+        if engines is None or engine in engines:
+            out[name] = value
+    return out
+
+
+_code_hash_cache = {}
+
+
+def code_tree_hash(root=None):
+    """Hash of every ``repro`` source file; the cache-version salt.
+
+    Any edit to the simulator, engines, pipelines, or harness changes
+    this digest and therefore every cache key: the cache can never
+    serve a simulation produced by different code.
+    """
+    if root is None:
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    root = os.path.abspath(root)
+    cached = _code_hash_cache.get(root)
+    if cached is not None:
+        return cached
+    digest = hashlib.sha256()
+    paths = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = sorted(
+            d for d in dirnames if d != "__pycache__"
+        )
+        for filename in sorted(filenames):
+            if filename.endswith(".py"):
+                paths.append(os.path.join(dirpath, filename))
+    for path in paths:
+        digest.update(os.path.relpath(path, root).encode())
+        with open(path, "rb") as fh:
+            digest.update(fh.read())
+    result = digest.hexdigest()
+    _code_hash_cache[root] = result
+    return result
+
+
+def cache_key(fn, kwargs, engine=None, cost_model=None, faults=None,
+              salt=None):
+    """Content address of one trial.
+
+    ``fn`` is the registered trial-function name, ``kwargs`` its
+    JSON-safe arguments, ``engine`` the engine kind (scopes which cost
+    constants key the trial), ``faults`` a JSON-safe description of any
+    fault plan, and ``salt`` overrides the code-tree hash (tests).
+    """
+    if cost_model is None:
+        cost_model = CostModel()
+    document = {
+        "schema": CACHE_SCHEMA_VERSION,
+        "salt": salt if salt is not None else code_tree_hash(),
+        "fn": fn,
+        "kwargs": kwargs,
+        "engine": engine,
+        "faults": faults,
+        "constants": relevant_constants(cost_model, engine=engine),
+    }
+    canonical = json.dumps(document, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+class TrialCache:
+    """Directory of cached trial payloads, one JSON file per key."""
+
+    def __init__(self, root=None):
+        if root is None:
+            root = os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR
+        self.root = root
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key):
+        return os.path.join(self.root, key[:2], f"{key}.json")
+
+    def get(self, key):
+        """Cached payload for ``key``, or ``None`` on a miss."""
+        try:
+            with open(self._path(key)) as fh:
+                payload = json.load(fh)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, key, payload):
+        """Store ``payload`` atomically (rename over a temp file)."""
+        path = self._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=os.path.dirname(path), suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(payload, fh)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def stats(self):
+        """``{"hits", "misses"}`` counters for this cache handle."""
+        return {"hits": self.hits, "misses": self.misses}

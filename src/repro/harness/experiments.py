@@ -15,6 +15,7 @@ from repro.data.catalog import (
     neuro_size_table,
 )
 from repro.engines.base import udf
+from repro.harness.parallel import TrialSpec, grid_rows, trial
 from repro.harness.runner import (
     ASTRO_BENCH,
     DEFAULT_NODES,
@@ -109,25 +110,31 @@ def run_astro_end_to_end(kind, visits, n_nodes=DEFAULT_NODES, **tuning):
 # Figures 10c-10f: end-to-end vs data size (+ normalized views)
 # ----------------------------------------------------------------------
 
+@trial("fig10c")
+def _trial_fig10c(kind, count, n_nodes, profile):
+    subjects = neuro_subjects(count, **profile)
+    return {
+        "engine": kind,
+        "subjects": count,
+        "simulated_s": run_neuro_end_to_end(kind, subjects, n_nodes=n_nodes),
+    }
+
+
 def fig10c_neuro_end_to_end(subject_counts=NEURO_SIZES,
                             engines=("dask", "myria", "spark"),
                             n_nodes=DEFAULT_NODES, profile=None):
     """Fig10c neuro end to end."""
     profile = profile or NEURO_BENCH
-    rows = []
-    for count in subject_counts:
-        subjects = neuro_subjects(count, **profile)
-        for kind in engines:
-            rows.append(
-                {
-                    "engine": kind,
-                    "subjects": count,
-                    "simulated_s": run_neuro_end_to_end(
-                        kind, subjects, n_nodes=n_nodes
-                    ),
-                }
-            )
-    return rows
+    return grid_rows(
+        TrialSpec(
+            "fig10c",
+            {"kind": kind, "count": count, "n_nodes": n_nodes,
+             "profile": dict(profile)},
+            engine=kind,
+        )
+        for count in subject_counts
+        for kind in engines
+    )
 
 
 def fig10d_astro_end_to_end(visit_counts=ASTRO_SIZES,
@@ -138,20 +145,26 @@ def fig10d_astro_end_to_end(visit_counts=ASTRO_SIZES,
     numbers", Section 4.4); pass engines=(..., "dask") to include our
     working implementation anyway."""
     profile = profile or ASTRO_BENCH
-    rows = []
-    for count in visit_counts:
-        visits = astro_visits(count, **profile)
-        for kind in engines:
-            rows.append(
-                {
-                    "engine": kind,
-                    "visits": count,
-                    "simulated_s": run_astro_end_to_end(
-                        kind, visits, n_nodes=n_nodes
-                    ),
-                }
-            )
-    return rows
+    return grid_rows(
+        TrialSpec(
+            "fig10d",
+            {"kind": kind, "count": count, "n_nodes": n_nodes,
+             "profile": dict(profile)},
+            engine=kind,
+        )
+        for count in visit_counts
+        for kind in engines
+    )
+
+
+@trial("fig10d")
+def _trial_fig10d(kind, count, n_nodes, profile):
+    visits = astro_visits(count, **profile)
+    return {
+        "engine": kind,
+        "visits": count,
+        "simulated_s": run_astro_end_to_end(kind, visits, n_nodes=n_nodes),
+    }
 
 
 def normalized_per_unit(rows, unit_key):
@@ -194,44 +207,56 @@ def fig10f_astro_normalized(rows=None, **kwargs):
 # Figures 10g/10h: end-to-end vs cluster size
 # ----------------------------------------------------------------------
 
+@trial("fig10g")
+def _trial_fig10g(kind, n_nodes, n_subjects, profile):
+    subjects = neuro_subjects(n_subjects, **profile)
+    return {
+        "engine": kind,
+        "nodes": n_nodes,
+        "simulated_s": run_neuro_end_to_end(kind, subjects, n_nodes=n_nodes),
+    }
+
+
 def fig10g_neuro_speedup(node_counts=CLUSTER_SIZES, n_subjects=25,
                          engines=("dask", "myria", "spark"), profile=None):
     """Fig10g neuro speedup."""
     profile = profile or NEURO_BENCH
-    subjects = neuro_subjects(n_subjects, **profile)
-    rows = []
-    for n_nodes in node_counts:
-        for kind in engines:
-            rows.append(
-                {
-                    "engine": kind,
-                    "nodes": n_nodes,
-                    "simulated_s": run_neuro_end_to_end(
-                        kind, subjects, n_nodes=n_nodes
-                    ),
-                }
-            )
-    return rows
+    return grid_rows(
+        TrialSpec(
+            "fig10g",
+            {"kind": kind, "n_nodes": n_nodes, "n_subjects": n_subjects,
+             "profile": dict(profile)},
+            engine=kind,
+        )
+        for n_nodes in node_counts
+        for kind in engines
+    )
+
+
+@trial("fig10h")
+def _trial_fig10h(kind, n_nodes, n_visits, profile):
+    visits = astro_visits(n_visits, **profile)
+    return {
+        "engine": kind,
+        "nodes": n_nodes,
+        "simulated_s": run_astro_end_to_end(kind, visits, n_nodes=n_nodes),
+    }
 
 
 def fig10h_astro_speedup(node_counts=CLUSTER_SIZES, n_visits=24,
                          engines=("myria", "spark"), profile=None):
     """Fig10h astro speedup."""
     profile = profile or ASTRO_BENCH
-    visits = astro_visits(n_visits, **profile)
-    rows = []
-    for n_nodes in node_counts:
-        for kind in engines:
-            rows.append(
-                {
-                    "engine": kind,
-                    "nodes": n_nodes,
-                    "simulated_s": run_astro_end_to_end(
-                        kind, visits, n_nodes=n_nodes
-                    ),
-                }
-            )
-    return rows
+    return grid_rows(
+        TrialSpec(
+            "fig10h",
+            {"kind": kind, "n_nodes": n_nodes, "n_visits": n_visits,
+             "profile": dict(profile)},
+            engine=kind,
+        )
+        for n_nodes in node_counts
+        for kind in engines
+    )
 
 
 # ----------------------------------------------------------------------
@@ -260,23 +285,30 @@ def _charge_nifti_to_numpy_staging(cluster, subjects):
     cluster.run(tasks)
 
 
+@trial("fig11")
+def _trial_fig11(system, count, profile):
+    subjects = neuro_subjects(count, **profile)
+    return {
+        "system": system,
+        "subjects": count,
+        "simulated_s": _ingest_once(system, subjects),
+    }
+
+
 def fig11_ingest(subject_counts=NEURO_SIZES, profile=None,
                  systems=("spark", "myria", "dask", "tensorflow",
                           "scidb-1", "scidb-2")):
     """Fig11 ingest."""
     profile = profile or NEURO_BENCH
-    rows = []
-    for count in subject_counts:
-        subjects = neuro_subjects(count, **profile)
-        for system in systems:
-            rows.append(
-                {
-                    "system": system,
-                    "subjects": count,
-                    "simulated_s": _ingest_once(system, subjects),
-                }
-            )
-    return rows
+    return grid_rows(
+        TrialSpec(
+            "fig11",
+            {"system": system, "count": count, "profile": dict(profile)},
+            engine="scidb" if system.startswith("scidb") else system,
+        )
+        for count in subject_counts
+        for system in systems
+    )
 
 
 def _ingest_once(system, subjects):
@@ -348,20 +380,25 @@ def _ingest_once(system, subjects):
 # Figure 12: individual steps (16 nodes, largest dataset)
 # ----------------------------------------------------------------------
 
+@trial("fig12a")
+def _trial_fig12a(system, n_subjects, profile):
+    subjects = neuro_subjects(n_subjects, **profile)
+    return {"system": system, "simulated_s": _filter_once(system, subjects)}
+
+
 def fig12a_filter(n_subjects=25, profile=None,
                   systems=("dask", "myria", "spark", "scidb", "tensorflow")):
     """Step: select the b0 subset of image volumes."""
     profile = profile or NEURO_BENCH
-    subjects = neuro_subjects(n_subjects, **profile)
-    rows = []
-    for system in systems:
-        rows.append(
-            {
-                "system": system,
-                "simulated_s": _filter_once(system, subjects),
-            }
+    return grid_rows(
+        TrialSpec(
+            "fig12a",
+            {"system": system, "n_subjects": n_subjects,
+             "profile": dict(profile)},
+            engine=system,
         )
-    return rows
+        for system in systems
+    )
 
 
 def _filter_once(system, subjects):
@@ -431,17 +468,25 @@ def _filter_once(system, subjects):
     raise ValueError(f"unknown system {system!r}")
 
 
+@trial("fig12b")
+def _trial_fig12b(system, n_subjects, profile):
+    subjects = neuro_subjects(n_subjects, **profile)
+    return {"system": system, "simulated_s": _mean_once(system, subjects)}
+
+
 def fig12b_mean(n_subjects=25, profile=None,
                 systems=("dask", "myria", "spark", "scidb", "tensorflow")):
     """Step: per-subject mean of the b0 volumes."""
     profile = profile or NEURO_BENCH
-    subjects = neuro_subjects(n_subjects, **profile)
-    rows = []
-    for system in systems:
-        rows.append(
-            {"system": system, "simulated_s": _mean_once(system, subjects)}
+    return grid_rows(
+        TrialSpec(
+            "fig12b",
+            {"system": system, "n_subjects": n_subjects,
+             "profile": dict(profile)},
+            engine=system,
         )
-    return rows
+        for system in systems
+    )
 
 
 def _mean_once(system, subjects):
@@ -502,17 +547,25 @@ def _mean_once(system, subjects):
     raise ValueError(f"unknown system {system!r}")
 
 
+@trial("fig12c")
+def _trial_fig12c(system, n_subjects, profile):
+    subjects = neuro_subjects(n_subjects, **profile)
+    return {"system": system, "simulated_s": _denoise_once(system, subjects)}
+
+
 def fig12c_denoise(n_subjects=25, profile=None,
                    systems=("dask", "myria", "spark", "scidb", "tensorflow")):
     """Step 2-N: denoising (SciDB via stream(), TF via convolutions)."""
     profile = profile or NEURO_BENCH
-    subjects = neuro_subjects(n_subjects, **profile)
-    rows = []
-    for system in systems:
-        rows.append(
-            {"system": system, "simulated_s": _denoise_once(system, subjects)}
+    return grid_rows(
+        TrialSpec(
+            "fig12c",
+            {"system": system, "n_subjects": n_subjects,
+             "profile": dict(profile)},
+            engine=system,
         )
-    return rows
+        for system in systems
+    )
 
 
 def _denoise_once(system, subjects):
@@ -650,17 +703,25 @@ Denoised = [FROM Joined EMIT PYUDF(Denoise, Joined.img, Joined.mask) AS img,
     raise ValueError(f"unknown system {system!r}")
 
 
+@trial("fig12d")
+def _trial_fig12d(system, n_visits, profile):
+    visits = astro_visits(n_visits, **profile)
+    return {"system": system, "simulated_s": _coadd_once(system, visits)}
+
+
 def fig12d_coadd(n_visits=24, profile=None,
                  systems=("myria", "spark", "scidb")):
     """Step 3-A: co-addition (SciDB in stock iterative AQL)."""
     profile = profile or ASTRO_BENCH
-    visits = astro_visits(n_visits, **profile)
-    rows = []
-    for system in systems:
-        rows.append(
-            {"system": system, "simulated_s": _coadd_once(system, visits)}
+    return grid_rows(
+        TrialSpec(
+            "fig12d",
+            {"system": system, "n_visits": n_visits,
+             "profile": dict(profile)},
+            engine=system,
         )
-    return rows
+        for system in systems
+    )
 
 
 def _coadd_once(system, visits, incremental=False, chunk=None):
@@ -763,28 +824,48 @@ Coadds = [FROM P EMIT P.patchY, P.patchX, UDA(CoaddAgg, P.img, P.visitId) AS coa
 # Figure 13: Myria workers per node
 # ----------------------------------------------------------------------
 
+@trial("fig13")
+def _trial_fig13(workers, n_subjects, n_nodes, profile):
+    subjects = neuro_subjects(n_subjects, **profile)
+    return {
+        "workers_per_node": workers,
+        "simulated_s": run_neuro_end_to_end(
+            "myria", subjects, n_nodes=n_nodes, workers_per_node=workers
+        ),
+    }
+
+
 def fig13_myria_workers(worker_counts=(1, 2, 4, 8), n_subjects=25,
                         n_nodes=DEFAULT_NODES, profile=None):
     """Fig13 myria workers."""
     profile = profile or NEURO_BENCH
-    subjects = neuro_subjects(n_subjects, **profile)
-    rows = []
-    for workers in worker_counts:
-        rows.append(
-            {
-                "workers_per_node": workers,
-                "simulated_s": run_neuro_end_to_end(
-                    "myria", subjects, n_nodes=n_nodes,
-                    workers_per_node=workers,
-                ),
-            }
+    return grid_rows(
+        TrialSpec(
+            "fig13",
+            {"workers": workers, "n_subjects": n_subjects,
+             "n_nodes": n_nodes, "profile": dict(profile)},
+            engine="myria",
         )
-    return rows
+        for workers in worker_counts
+    )
 
 
 # ----------------------------------------------------------------------
 # Figure 14: Spark input partitions (single subject)
 # ----------------------------------------------------------------------
+
+@trial("fig14")
+def _trial_fig14(partitions, n_nodes, profile):
+    subjects = neuro_subjects(1, **profile)
+    return {
+        "partitions": partitions,
+        "simulated_s": run_neuro_end_to_end(
+            "spark", subjects, n_nodes=n_nodes,
+            input_partitions=partitions,
+            group_partitions=max(partitions, 1),
+        ),
+    }
+
 
 def fig14_spark_partitions(
     partition_counts=(1, 2, 4, 8, 16, 32, 64, 97, 128, 192, 256),
@@ -792,25 +873,38 @@ def fig14_spark_partitions(
 ):
     """Fig14 spark partitions."""
     profile = profile or {"scale": NEURO_BENCH["scale"], "n_volumes": 288}
-    subjects = neuro_subjects(1, **profile)
-    rows = []
-    for partitions in partition_counts:
-        rows.append(
-            {
-                "partitions": partitions,
-                "simulated_s": run_neuro_end_to_end(
-                    "spark", subjects, n_nodes=n_nodes,
-                    input_partitions=partitions,
-                    group_partitions=max(partitions, 1),
-                ),
-            }
+    return grid_rows(
+        TrialSpec(
+            "fig14",
+            {"partitions": partitions, "n_nodes": n_nodes,
+             "profile": dict(profile)},
+            engine="spark",
         )
-    return rows
+        for partitions in partition_counts
+    )
 
 
 # ----------------------------------------------------------------------
 # Figure 15: Myria memory management (astronomy)
 # ----------------------------------------------------------------------
+
+@trial("fig15")
+def _trial_fig15(count, mode, n_nodes, chunks, profile):
+    visits = astro_visits(count, **profile)
+    cluster, engine = fresh_engine("myria", n_nodes=n_nodes)
+    stage_visits(cluster.object_store, visits)
+    watch = Stopwatch(cluster)
+    try:
+        astro_myria.run(
+            engine, visits, mode=mode,
+            chunks=chunks if mode == "multiquery" else 1,
+            source="s3",
+        )
+        result = watch.lap()
+    except OutOfMemoryError:
+        result = "OOM"
+    return {"visits": count, "mode": mode, "simulated_s": result}
+
 
 def fig15_myria_memory(visit_counts=(2, 4, 8, 12, 24),
                        modes=("pipelined", "materialized", "multiquery"),
@@ -819,70 +913,75 @@ def fig15_myria_memory(visit_counts=(2, 4, 8, 12, 24),
     a mode runs out of memory report ``"OOM"`` (the paper's missing
     bars)."""
     profile = profile or ASTRO_BENCH
-    rows = []
-    for count in visit_counts:
-        visits = astro_visits(count, **profile)
-        for mode in modes:
-            cluster, engine = fresh_engine("myria", n_nodes=n_nodes)
-            stage_visits(cluster.object_store, visits)
-            watch = Stopwatch(cluster)
-            try:
-                astro_myria.run(
-                    engine, visits, mode=mode,
-                    chunks=chunks if mode == "multiquery" else 1,
-                    source="s3",
-                )
-                result = watch.lap()
-            except OutOfMemoryError:
-                result = "OOM"
-            rows.append(
-                {"visits": count, "mode": mode, "simulated_s": result}
-            )
-    return rows
+    return grid_rows(
+        TrialSpec(
+            "fig15",
+            {"count": count, "mode": mode, "n_nodes": n_nodes,
+             "chunks": chunks, "profile": dict(profile)},
+            engine="myria",
+        )
+        for count in visit_counts
+        for mode in modes
+    )
 
 
 # ----------------------------------------------------------------------
 # Section 5.3.1: SciDB chunk-size tuning (co-addition)
 # ----------------------------------------------------------------------
 
+@trial("s531")
+def _trial_s531(chunk, n_visits, profile):
+    visits = astro_visits(n_visits, **profile)
+    return {
+        "chunk": chunk,
+        "simulated_s": _coadd_once("scidb", visits, chunk=chunk),
+    }
+
+
 def s531_scidb_chunks(chunk_sizes=(500, 1000, 1500, 2000), n_visits=24,
                       profile=None):
     """S531 scidb chunks."""
     profile = profile or ASTRO_BENCH
-    visits = astro_visits(n_visits, **profile)
-    rows = []
-    for chunk in chunk_sizes:
-        rows.append(
-            {
-                "chunk": chunk,
-                "simulated_s": _coadd_once("scidb", visits, chunk=chunk),
-            }
+    return grid_rows(
+        TrialSpec(
+            "s531",
+            {"chunk": chunk, "n_visits": n_visits, "profile": dict(profile)},
+            engine="scidb",
         )
-    return rows
+        for chunk in chunk_sizes
+    )
 
 
 # ----------------------------------------------------------------------
 # Section 5.3.3: Spark input caching
 # ----------------------------------------------------------------------
 
+@trial("s533")
+def _trial_s533(count, cached, n_nodes, profile):
+    subjects = neuro_subjects(count, **profile)
+    return {
+        "subjects": count,
+        "cached": cached,
+        "simulated_s": run_neuro_end_to_end(
+            "spark", subjects, n_nodes=n_nodes, cache_input=cached
+        ),
+    }
+
+
 def s533_spark_caching(subject_counts=(1, 4, 12, 25), n_nodes=DEFAULT_NODES,
                        profile=None):
     """S533 spark caching."""
     profile = profile or NEURO_BENCH
-    rows = []
-    for count in subject_counts:
-        subjects = neuro_subjects(count, **profile)
-        for cached in (False, True):
-            rows.append(
-                {
-                    "subjects": count,
-                    "cached": cached,
-                    "simulated_s": run_neuro_end_to_end(
-                        "spark", subjects, n_nodes=n_nodes, cache_input=cached
-                    ),
-                }
-            )
-    return rows
+    return grid_rows(
+        TrialSpec(
+            "s533",
+            {"count": count, "cached": cached, "n_nodes": n_nodes,
+             "profile": dict(profile)},
+            engine="spark",
+        )
+        for count in subject_counts
+        for cached in (False, True)
+    )
 
 
 # ----------------------------------------------------------------------
@@ -930,6 +1029,26 @@ F16_RECOVERY = {
 }
 
 
+@trial("f16")
+def _trial_f16(kind, n_subjects, n_nodes, profile, restart_after_s, seed):
+    subjects = neuro_subjects(n_subjects, **profile)
+    base = _f16_baseline(kind, subjects, n_nodes)
+    baseline_s = base["end"] - base["start"]
+    crash_at = base["ingest_end"] + 0.5 * (base["end"] - base["ingest_end"])
+    faulty = _f16_faulty(
+        kind, subjects, n_nodes, crash_at, restart_after_s, seed
+    )
+    faulty_s = faulty["end"] - faulty["start"]
+    return {
+        "engine": kind,
+        "recovery": F16_RECOVERY[kind],
+        "baseline_s": baseline_s,
+        "faulty_s": faulty_s,
+        "overhead_s": faulty_s - baseline_s,
+        "overhead_pct": 100.0 * (faulty_s - baseline_s) / baseline_s,
+    }
+
+
 def f16_recovery(engines=F16_ENGINES, n_subjects=2, n_nodes=DEFAULT_NODES,
                  profile=None, restart_after_s=F16_RESTART_AFTER_S,
                  seed=F16_SEED):
@@ -945,27 +1064,18 @@ def f16_recovery(engines=F16_ENGINES, n_subjects=2, n_nodes=DEFAULT_NODES,
     Returns one row per engine with the recovery overhead.
     """
     profile = profile or NEURO_BENCH
-    subjects = neuro_subjects(n_subjects, **profile)
-    rows = []
-    for kind in engines:
-        base = _f16_baseline(kind, subjects, n_nodes)
-        baseline_s = base["end"] - base["start"]
-        crash_at = base["ingest_end"] + 0.5 * (base["end"] - base["ingest_end"])
-        faulty = _f16_faulty(
-            kind, subjects, n_nodes, crash_at, restart_after_s, seed
+    return grid_rows(
+        TrialSpec(
+            "f16",
+            {"kind": kind, "n_subjects": n_subjects, "n_nodes": n_nodes,
+             "profile": dict(profile), "restart_after_s": restart_after_s,
+             "seed": seed},
+            engine=kind,
+            faults={"crash": "last-node@50%-progress",
+                    "restart_after_s": restart_after_s, "seed": seed},
         )
-        faulty_s = faulty["end"] - faulty["start"]
-        rows.append(
-            {
-                "engine": kind,
-                "recovery": F16_RECOVERY[kind],
-                "baseline_s": baseline_s,
-                "faulty_s": faulty_s,
-                "overhead_s": faulty_s - baseline_s,
-                "overhead_pct": 100.0 * (faulty_s - baseline_s) / baseline_s,
-            }
-        )
-    return rows
+        for kind in engines
+    )
 
 
 def _f16_baseline(kind, subjects, n_nodes):

@@ -1,0 +1,260 @@
+"""Process-pool trial executor with deterministic result merging.
+
+Every figure in the paper is a grid of independent trials (engine x
+data size x cluster size x faults).  Each trial builds its clusters
+from scratch and the simulator's virtual clock depends only on the
+*relative* order of task ids within one cluster, so a trial produces
+bit-identical results whether it runs in this process, in a forked
+worker, or was replayed from the cache.  :func:`run_grid` exploits
+that: it fans a list of :class:`TrialSpec` across a process pool (or
+runs them inline at ``jobs=1``, the library default) and merges the
+payloads back in submission order, so the rows -- and the ledger
+snapshots derived from them -- are byte-identical to a serial run.
+
+Workers return plain JSON-safe payloads (``{"row", "snapshots"}``);
+cluster objects never cross the process boundary.  Snapshots are only
+computed when someone will consume them (an active
+:func:`collecting_snapshots` sink, an enabled cache, or a worker that
+cannot defer the decision), so plain smoke runs pay nothing extra.
+"""
+
+import multiprocessing
+from contextlib import contextmanager
+from dataclasses import asdict
+
+from repro.cluster.costs import CostModel
+from repro.harness import runner
+from repro.harness.cache import cache_key
+
+#: Registered trial functions: name -> callable returning one row dict.
+TRIAL_FNS = {}
+
+#: Sentinel distinguishing "not passed" from an explicit ``None``.
+_UNSET = object()
+
+
+def trial(name):
+    """Decorator registering a trial function under ``name``.
+
+    The registry is what lets a :class:`TrialSpec` cross a process
+    boundary as plain data: workers look the name back up instead of
+    pickling the callable.
+    """
+    def register(fn):
+        if name in TRIAL_FNS:
+            raise ValueError(f"trial {name!r} registered twice")
+        TRIAL_FNS[name] = fn
+        return fn
+    return register
+
+
+class TrialSpec:
+    """One independent trial: a registered function plus JSON-safe args.
+
+    ``engine`` scopes which cost-model constants key the trial in the
+    cache; ``faults`` is an optional JSON-safe description of the fault
+    plan the trial constructs (also keyed).
+    """
+
+    __slots__ = ("fn", "kwargs", "engine", "faults")
+
+    def __init__(self, fn, kwargs, engine=None, faults=None):
+        if fn not in TRIAL_FNS:
+            raise KeyError(f"unknown trial function {fn!r}")
+        self.fn = fn
+        self.kwargs = kwargs
+        self.engine = engine
+        self.faults = faults
+
+    def key(self, cost_model=None, salt=None):
+        """Content address of this trial (see :mod:`repro.harness.cache`)."""
+        return cache_key(
+            self.fn, self.kwargs, engine=self.engine,
+            cost_model=cost_model, faults=self.faults, salt=salt,
+        )
+
+
+# ----------------------------------------------------------------------
+# Executor configuration (the CLI opts in; the library default -- one
+# in-process job, no cache -- leaves test and import behavior unchanged)
+# ----------------------------------------------------------------------
+
+_config = {"jobs": 1, "cache": None}
+
+
+@contextmanager
+def configured(jobs=None, cache=_UNSET):
+    """Set the default ``jobs``/``cache`` for :func:`run_grid` inside.
+
+    ``jobs=None`` and ``cache=_UNSET`` leave the current setting;
+    ``cache=None`` explicitly disables caching.
+    """
+    previous = dict(_config)
+    if jobs is not None:
+        _config["jobs"] = jobs
+    if cache is not _UNSET:
+        _config["cache"] = cache
+    try:
+        yield
+    finally:
+        _config.update(previous)
+
+
+# ----------------------------------------------------------------------
+# Snapshot sinks: how figure-level consumers (the ledger, blame
+# printing) receive per-run snapshots without holding cluster objects
+# ----------------------------------------------------------------------
+
+_snapshot_sinks = []
+
+
+class SnapshotSink:
+    """Collects run snapshots from every trial executed inside."""
+
+    def __init__(self):
+        self.snapshots = []
+
+
+@contextmanager
+def collecting_snapshots():
+    """Collect the run snapshot of every cluster each trial builds.
+
+    Sinks nest: an inner figure-level sink (blame printing) and an
+    outer ledger sink both receive every snapshot, in trial order.
+    """
+    sink = SnapshotSink()
+    _snapshot_sinks.append(sink)
+    try:
+        yield sink
+    finally:
+        _snapshot_sinks.remove(sink)
+
+
+# ----------------------------------------------------------------------
+# Trial execution
+# ----------------------------------------------------------------------
+
+def _snapshot_cluster(cluster):
+    """One run snapshot labeled by its dominant task group.
+
+    The label deliberately omits any global index -- the parent adds
+    the ``NN-`` prefix in merge order, so cached and freshly-computed
+    snapshots relabel identically.
+    """
+    from repro.obs import run_snapshot
+    from repro.obs.breakdown import records_of, summarize_records
+
+    groups = summarize_records(records_of(cluster))
+    top_group = groups[0]["group"] if groups else "empty"
+    return run_snapshot(cluster, label=top_group)
+
+
+def _execute_trial(fn_name, kwargs, cost_constants, want_snapshots):
+    """Run one trial in the current process; returns its payload."""
+    fn = TRIAL_FNS[fn_name]
+    clusters = []
+    with runner.observe_clusters(clusters.append):
+        if cost_constants is None:
+            row = fn(**kwargs)
+        else:
+            with runner.cost_model_override(CostModel(**cost_constants)):
+                row = fn(**kwargs)
+    payload = {"row": row}
+    if want_snapshots:
+        payload["snapshots"] = [_snapshot_cluster(c) for c in clusters]
+    return payload
+
+
+def _worker_init():
+    # Observer callbacks close over parent-process state (lists the
+    # parent is collecting into); firing the forked copies would waste
+    # time and never be seen.  Snapshots carry the observability data
+    # back instead.
+    del runner._cluster_observers[:]
+
+
+def _pool_entry(args):
+    fn_name, kwargs, cost_constants = args
+    # Under the spawn start method the registry is empty until the
+    # experiment definitions are imported.
+    if fn_name not in TRIAL_FNS:
+        import repro.harness.experiments  # noqa: F401
+    return _execute_trial(fn_name, kwargs, cost_constants, True)
+
+
+def _pool_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+def run_grid(specs, jobs=None, cache=_UNSET, cost_model=None):
+    """Execute a list of :class:`TrialSpec`; returns payloads in order.
+
+    Payloads are ``{"row": <row dict>[, "snapshots": [...]]}``.  Rows
+    and snapshots are identical whether trials ran inline, across a
+    process pool, or were replayed from the cache; active
+    :func:`collecting_snapshots` sinks receive every snapshot in
+    submission order.
+    """
+    specs = list(specs)
+    if jobs is None:
+        jobs = _config["jobs"]
+    if cache is _UNSET:
+        cache = _config["cache"]
+    want_snapshots = bool(_snapshot_sinks) or cache is not None
+
+    cost_constants = None if cost_model is None else asdict(cost_model)
+    payloads = [None] * len(specs)
+    keys = [None] * len(specs)
+    pending = []
+    for index, spec in enumerate(specs):
+        if cache is not None:
+            keys[index] = spec.key(cost_model=cost_model)
+            hit = cache.get(keys[index])
+            if hit is not None:
+                payloads[index] = hit
+                continue
+        pending.append(index)
+
+    if pending:
+        if jobs > 1 and len(pending) > 1:
+            ctx = _pool_context()
+            work = [
+                (specs[i].fn, specs[i].kwargs, cost_constants)
+                for i in pending
+            ]
+            with ctx.Pool(
+                processes=min(jobs, len(pending)),
+                initializer=_worker_init,
+            ) as pool:
+                results = pool.map(_pool_entry, work)
+            for i, payload in zip(pending, results):
+                payloads[i] = payload
+        else:
+            for i in pending:
+                payloads[i] = _execute_trial(
+                    specs[i].fn, specs[i].kwargs, cost_constants,
+                    want_snapshots,
+                )
+        if cache is not None:
+            for i in pending:
+                cache.put(keys[i], payloads[i])
+
+    if _snapshot_sinks:
+        for payload in payloads:
+            for snapshot in payload.get("snapshots", ()):
+                for sink in _snapshot_sinks:
+                    sink.snapshots.append(snapshot)
+    return payloads
+
+
+def grid_rows(specs, jobs=None, cache=_UNSET, cost_model=None):
+    """The common case: run a grid, return just the row dicts."""
+    return [
+        payload["row"]
+        for payload in run_grid(
+            specs, jobs=jobs, cache=cache, cost_model=cost_model
+        )
+    ]

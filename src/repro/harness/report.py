@@ -80,10 +80,33 @@ def figure_blame(clusters, top=None):
     return rows[:top] if top else rows
 
 
-def print_figure_blame(clusters, title="blame (critical path)", top=8,
-                       out=print):
-    """Annotate a figure with where its simulated time actually went."""
-    rows = figure_blame(clusters, top=top)
+def snapshot_blame(snapshots, top=None):
+    """:func:`figure_blame` over ledger run snapshots instead of live
+    clusters -- how parallel or cache-replayed figures report blame
+    (the cluster objects ran in another process, or never ran at all).
+    """
+    from collections import defaultdict
+
+    totals = defaultdict(float)
+    makespan = 0.0
+    for snapshot in snapshots:
+        makespan += snapshot["makespan_s"]
+        for row in snapshot["critical_path"]["blame"]:
+            totals[(row["category"], row["kind"])] += row["seconds"]
+    rows = [
+        {
+            "category": category,
+            "kind": kind,
+            "seconds": seconds,
+            "share": seconds / makespan if makespan else 0.0,
+        }
+        for (category, kind), seconds in totals.items()
+    ]
+    rows.sort(key=lambda r: (-r["seconds"], r["category"], r["kind"]))
+    return rows[:top] if top else rows
+
+
+def _print_blame_rows(rows, title, out):
     display = [
         {
             "category": r["category"],
@@ -94,6 +117,18 @@ def print_figure_blame(clusters, title="blame (critical path)", top=8,
         for r in rows
     ]
     print_table(display, title=title, out=out)
+
+
+def print_figure_blame(clusters, title="blame (critical path)", top=8,
+                       out=print):
+    """Annotate a figure with where its simulated time actually went."""
+    _print_blame_rows(figure_blame(clusters, top=top), title, out)
+
+
+def print_snapshot_blame(snapshots, title="blame (critical path)", top=8,
+                         out=print):
+    """Blame table computed from collected run snapshots."""
+    _print_blame_rows(snapshot_blame(snapshots, top=top), title, out)
 
 
 def pivot(rows, index, column, value="simulated_s"):

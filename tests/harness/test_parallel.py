@@ -1,0 +1,324 @@
+"""The trial executor: determinism across processes, cache behavior.
+
+The load-bearing property: a figure's rows and ledger snapshots are
+byte-identical whether its trials run serially in-process, fan out
+across a process pool, or replay from the content-addressed cache.
+The simulator's virtual clock depends only on the relative order of
+task ids within one cluster, so per-process task-counter offsets
+cannot leak into results.
+"""
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.costs import CostModel
+from repro.harness import experiments as E  # noqa: F401 - fills the registry
+from repro.harness.cache import TrialCache, cache_key, relevant_constants
+from repro.harness.parallel import (
+    TRIAL_FNS,
+    SnapshotSink,
+    TrialSpec,
+    collecting_snapshots,
+    configured,
+    grid_rows,
+    run_grid,
+)
+
+TINY_NEURO = {"scale": 20, "n_volumes": 12}
+TINY_ASTRO = {"scale": 100, "n_sensors": 4}
+
+
+def _canon(payloads):
+    return json.dumps(payloads, sort_keys=True)
+
+
+def _tiny_specs(include_fault_trial=True, engines=("dask", "spark")):
+    specs = [
+        TrialSpec(
+            "fig10c",
+            {"kind": kind, "count": 1, "n_nodes": 4,
+             "profile": dict(TINY_NEURO)},
+            engine=kind,
+        )
+        for kind in engines
+    ]
+    if include_fault_trial:
+        specs.append(
+            TrialSpec(
+                "f16",
+                {"kind": "spark", "n_subjects": 1, "n_nodes": 4,
+                 "profile": dict(TINY_NEURO), "restart_after_s": 18.0,
+                 "seed": 16},
+                engine="spark",
+                faults={"crash": "last-node@50%-progress", "seed": 16},
+            )
+        )
+    return specs
+
+
+class TestRegistry:
+    def test_all_grid_figures_registered(self):
+        for name in ("fig10c", "fig10d", "fig10g", "fig10h", "fig11",
+                     "fig12a", "fig12b", "fig12c", "fig12d", "fig13",
+                     "fig14", "fig15", "s531", "s533", "f16"):
+            assert name in TRIAL_FNS
+
+    def test_unknown_trial_rejected(self):
+        with pytest.raises(KeyError):
+            TrialSpec("no-such-trial", {})
+
+
+class TestDeterminism:
+    def test_serial_equals_parallel_payloads(self):
+        specs = _tiny_specs()
+        with collecting_snapshots() as serial_sink:
+            serial = run_grid(specs, jobs=1, cache=None)
+        with collecting_snapshots() as parallel_sink:
+            parallel = run_grid(specs, jobs=4, cache=None)
+        assert _canon(serial) == _canon(parallel)
+        assert _canon(serial_sink.snapshots) == _canon(parallel_sink.snapshots)
+
+    def test_cache_replay_is_byte_identical(self, tmp_path):
+        specs = _tiny_specs(include_fault_trial=False)
+        cache = TrialCache(str(tmp_path / "cache"))
+        with collecting_snapshots() as cold_sink:
+            cold = run_grid(specs, jobs=1, cache=cache)
+        assert cache.misses == len(specs)
+        warm_cache = TrialCache(str(tmp_path / "cache"))
+        with collecting_snapshots() as warm_sink:
+            warm = run_grid(specs, jobs=1, cache=warm_cache)
+        assert warm_cache.hits == len(specs)
+        assert warm_cache.misses == 0
+        assert _canon(cold) == _canon(warm)
+        assert _canon(cold_sink.snapshots) == _canon(warm_sink.snapshots)
+
+    @settings(max_examples=5, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        data=st.data(),
+        jobs=st.sampled_from([2, 3, 4]),
+    )
+    def test_random_grid_serial_equals_parallel(self, data, jobs):
+        """Random trial grids — including one under an active FaultPlan —
+        produce byte-identical rows and ledger snapshots (modulo
+        ``git_sha``, which never enters run snapshots) at any job count.
+        """
+        pool = [
+            TrialSpec(
+                "fig10c",
+                {"kind": kind, "count": count, "n_nodes": nodes,
+                 "profile": dict(TINY_NEURO)},
+                engine=kind,
+            )
+            for kind in ("dask", "myria", "spark")
+            for count in (1, 2)
+            for nodes in (2, 4)
+        ] + [
+            TrialSpec(
+                "f16",
+                {"kind": kind, "n_subjects": 1, "n_nodes": 4,
+                 "profile": dict(TINY_NEURO), "restart_after_s": 18.0,
+                 "seed": 16},
+                engine=kind,
+                faults={"crash": "last-node@50%-progress", "seed": 16},
+            )
+            for kind in ("spark", "dask")
+        ]
+        indices = data.draw(
+            st.lists(st.integers(0, len(pool) - 1), min_size=1, max_size=4)
+        )
+        specs = [pool[i] for i in indices]
+        with collecting_snapshots() as serial_sink:
+            serial = run_grid(specs, jobs=1, cache=None)
+        with collecting_snapshots() as parallel_sink:
+            parallel = run_grid(specs, jobs=jobs, cache=None)
+        assert _canon(serial) == _canon(parallel)
+        assert _canon(serial_sink.snapshots) == _canon(parallel_sink.snapshots)
+
+
+class TestSnapshotSinks:
+    def test_no_snapshots_computed_without_consumer(self):
+        payloads = run_grid(
+            _tiny_specs(include_fault_trial=False), jobs=1, cache=None
+        )
+        assert all("snapshots" not in p for p in payloads)
+
+    def test_nested_sinks_both_receive(self):
+        specs = _tiny_specs(include_fault_trial=False)
+        with collecting_snapshots() as outer:
+            with collecting_snapshots() as inner:
+                run_grid(specs, jobs=1, cache=None)
+        assert inner.snapshots
+        assert _canon(outer.snapshots) == _canon(inner.snapshots)
+
+    def test_f16_trial_yields_two_snapshots(self):
+        spec = _tiny_specs()[-1]
+        with collecting_snapshots() as sink:
+            run_grid([spec], jobs=1, cache=None)
+        # baseline run + faulty run
+        assert len(sink.snapshots) == 2
+
+
+class TestConfigured:
+    def test_configured_sets_run_grid_defaults(self, tmp_path):
+        specs = _tiny_specs(include_fault_trial=False, engines=("spark",))
+        cache = TrialCache(str(tmp_path))
+        with configured(jobs=1, cache=cache):
+            grid_rows(specs)
+        assert cache.misses == len(specs)
+        with configured(jobs=1, cache=cache):
+            grid_rows(specs)
+        assert cache.hits == len(specs)
+
+    def test_configured_restores_previous(self):
+        from repro.harness.parallel import _config
+
+        before = dict(_config)
+        with configured(jobs=7, cache=None):
+            assert _config["jobs"] == 7
+        assert dict(_config) == before
+
+
+class TestCacheKeys:
+    def test_key_is_stable(self):
+        spec = _tiny_specs(include_fault_trial=False, engines=("spark",))[0]
+        assert spec.key(salt="s") == spec.key(salt="s")
+
+    def test_key_depends_on_kwargs(self):
+        a = cache_key("fig10c", {"count": 1}, engine="spark", salt="s")
+        b = cache_key("fig10c", {"count": 2}, engine="spark", salt="s")
+        assert a != b
+
+    def test_key_depends_on_fn_and_faults_and_salt(self):
+        base = cache_key("fig10c", {}, engine="spark", salt="s")
+        assert cache_key("fig10d", {}, engine="spark", salt="s") != base
+        assert cache_key(
+            "fig10c", {}, engine="spark", faults={"seed": 1}, salt="s"
+        ) != base
+        assert cache_key("fig10c", {}, engine="spark", salt="t") != base
+
+    def test_engine_constant_scoping(self):
+        model = CostModel()
+        spark = relevant_constants(model, engine="spark")
+        dask = relevant_constants(model, engine="dask")
+        assert "spark_task_overhead" in spark
+        assert "spark_task_overhead" not in dask
+        assert "dask_task_overhead" in dask
+        assert "python_boundary_bandwidth" in spark
+        assert "python_boundary_bandwidth" not in dask
+        # Shared constants key every engine.
+        assert "network_bandwidth" in spark
+        assert "network_bandwidth" in dask
+        # engine=None (mixed trial) keys on everything.
+        assert "spark_task_overhead" in relevant_constants(model)
+        assert "dask_task_overhead" in relevant_constants(model)
+
+    def test_cost_constant_invalidation_is_engine_scoped(self):
+        model = CostModel()
+        retuned_spark = model.with_overrides(spark_task_overhead=0.05)
+        spark_key = cache_key("fig10c", {}, engine="spark",
+                              cost_model=model, salt="s")
+        dask_key = cache_key("fig10c", {}, engine="dask",
+                             cost_model=model, salt="s")
+        assert cache_key("fig10c", {}, engine="spark",
+                         cost_model=retuned_spark, salt="s") != spark_key
+        assert cache_key("fig10c", {}, engine="dask",
+                         cost_model=retuned_spark, salt="s") == dask_key
+        # A shared constant invalidates every engine.
+        retuned_net = model.with_overrides(network_bandwidth=1e9)
+        assert cache_key("fig10c", {}, engine="spark",
+                         cost_model=retuned_net, salt="s") != spark_key
+        assert cache_key("fig10c", {}, engine="dask",
+                         cost_model=retuned_net, salt="s") != dask_key
+
+
+class TestCalibrationInvalidation:
+    """ROADMAP's ledger-driven calibration check: recalibrating one
+    cost constant re-simulates exactly the trials whose blame includes
+    that constant's engine, and replays everything else from cache."""
+
+    @staticmethod
+    def _blames_spark(snapshot):
+        return any(
+            (row["category"] or "").startswith("spark")
+            for row in snapshot["critical_path"]["blame"]
+        )
+
+    def test_recalibration_invalidates_only_blamed_trials(self, tmp_path):
+        specs = _tiny_specs(include_fault_trial=False)  # dask, spark
+        cache = TrialCache(str(tmp_path))
+        with collecting_snapshots() as base_sink:
+            base = run_grid(specs, jobs=1, cache=cache)
+        assert cache.stats() == {"hits": 0, "misses": 2}
+        # The blame ledger says which trial depends on the spark
+        # scheduler constants -- exactly the one the retune must evict.
+        assert not self._blames_spark(base_sink.snapshots[0])
+        assert self._blames_spark(base_sink.snapshots[1])
+
+        retuned = CostModel().with_overrides(spark_task_overhead=0.5)
+        recal_cache = TrialCache(str(tmp_path))
+        with collecting_snapshots() as recal_sink:
+            recal = run_grid(
+                specs, jobs=1, cache=recal_cache, cost_model=retuned
+            )
+        assert recal_cache.stats() == {"hits": 1, "misses": 1}
+        # Dask trial replayed byte-identically; spark trial re-simulated
+        # under the retuned model and got slower.
+        assert _canon(recal[0]) == _canon(base[0])
+        assert _canon(recal_sink.snapshots[0]) == _canon(base_sink.snapshots[0])
+        assert (recal[1]["row"]["simulated_s"]
+                > base[1]["row"]["simulated_s"])
+
+    def test_default_model_rerun_hits_everything(self, tmp_path):
+        specs = _tiny_specs(include_fault_trial=False)
+        cache = TrialCache(str(tmp_path))
+        run_grid(specs, jobs=1, cache=cache)
+        rerun_cache = TrialCache(str(tmp_path))
+        # An explicit default model keys identically to cost_model=None.
+        run_grid(specs, jobs=1, cache=rerun_cache, cost_model=CostModel())
+        assert rerun_cache.stats() == {"hits": len(specs), "misses": 0}
+
+
+class TestBenchCli:
+    def test_bench_writes_schema_and_compare_reads_it(self, tmp_path, capsys):
+        from repro.harness.__main__ import _bench_main, _compare_main
+
+        out = tmp_path / "bench.json"
+        assert _bench_main(["fig11", "--jobs", "1", "--out", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        assert doc["bench_schema_version"] == 1
+        assert doc["quick"] is True
+        fig = doc["figures"]["fig11"]
+        for key in ("serial_s", "parallel_s", "warm_s", "jobs",
+                    "cache_hits", "cache_misses", "speedup",
+                    "warm_over_cold"):
+            assert key in fig
+        assert fig["cache_hits"] > 0
+        assert fig["cache_misses"] == 0
+        capsys.readouterr()
+        # ``compare`` auto-detects bench files; report-only, exit 0.
+        assert _compare_main([str(out), str(out), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["bench_compare"] is True
+        assert report["figures"][0]["figure"] == "fig11"
+        assert report["figures"][0]["serial_s_ratio"] == 1.0
+
+
+class TestCacheStore:
+    def test_roundtrip_and_stats(self, tmp_path):
+        cache = TrialCache(str(tmp_path))
+        payload = {"row": {"simulated_s": 1.5}, "snapshots": []}
+        assert cache.get("k" * 64) is None
+        cache.put("k" * 64, payload)
+        assert cache.get("k" * 64) == payload
+        assert cache.stats() == {"hits": 1, "misses": 1}
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = TrialCache(str(tmp_path))
+        cache.put("a" * 64, {"row": {}})
+        with open(cache._path("a" * 64), "w") as fh:
+            fh.write("{not json")
+        assert cache.get("a" * 64) is None
