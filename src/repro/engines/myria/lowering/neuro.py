@@ -1,0 +1,301 @@
+"""The neuro plan lowered to miniMyria (Section 4.3, Figure 7).
+
+"We specify the overall pipeline in MyriaL, but call Python UDFs and
+UDAs for all core image processing operations.  ... we execute a query
+to compute the mask, which we broadcast across the cluster.  A second
+query then computes the rest of the pipeline starting from a broadcast
+join between the data and the mask."
+
+Lowering contract notes: MyriaL text is *emitted* from the logical plan
+by the ``*_query`` functions.  The lowering makes three engine-specific
+structural choices the paper documents:
+
+* ``mean_b0`` + ``otsu`` fuse into one ``UDA(MeanOtsu, ...)`` (query 1);
+* ``regroup`` + ``fitmodel`` fuse into one ``UDA(FitModel, ...)``
+  (Myria's shuffle feeds the UDA directly, no separate regroup stage);
+* ``mask_bcast`` + ``denoise`` lower to a ``BROADCAST(T2)`` join —
+  Myria rebinds the plan's broadcast side-input as a relation join.
+"""
+
+import numpy as np
+
+from repro.algorithms.dtm import fit_dtm, fractional_anisotropy
+from repro.algorithms.nlmeans import nlmeans_3d
+from repro.algorithms.otsu import median_otsu
+from repro.engines.base import udf
+from repro.engines.myria.connection import MyriaQuery
+from repro.formats.sizing import SizedArray
+from repro.pipelines import common
+from repro.pipelines.neuro.reference import DENOISE_SIGMA, MASK_MEDIAN_RADIUS
+from repro.pipelines.neuro.staging import DEFAULT_BUCKET, gradient_tables
+from repro.plan.neuro import DEFAULT_BLOCKS, neuro_plan
+
+IMAGES_COLUMNS = ("subjId", "imgId", "b0flag", "img")
+
+
+def _lines(*parts):
+    return "\n".join(("",) + parts + ("",))
+
+
+_SCAN_IMAGES = "T1 = SCAN(Images);"
+
+
+def _b0_select(plan, columns):
+    """Lower the ``b0`` filter: the predicate pushes down to the scalar
+    ``b0flag`` column the loader precomputes."""
+    op = plan.op("b0")
+    if op.kind != "filter" or op.param("predicate") != "is_b0":
+        raise NotImplementedError(f"myria lowering: unexpected filter {op}")
+    cols = ", ".join("T1." + c for c in columns)
+    return f"B0 = [SELECT {cols} FROM T1 WHERE T1.b0flag = 1];"
+
+
+def mask_query(plan):
+    """Query 1: the ``b0 -> mean_b0 -> otsu -> masks`` segment, with the
+    aggregate and the Otsu map fused into ``UDA(MeanOtsu)`` and the
+    materialization lowered to a ``STORE``."""
+    for op_id, kind in (("mean_b0", "group_by"), ("otsu", "map"),
+                        ("masks", "materialize")):
+        if plan.op(op_id).kind != kind:
+            raise NotImplementedError(f"myria lowering: missing {op_id}")
+    return _lines(
+        _SCAN_IMAGES,
+        _b0_select(plan, ("subjId", "img")),
+        "Masks = [FROM B0 EMIT B0.subjId, UDA(MeanOtsu, B0.img) AS mask];",
+        "STORE(Masks, Mask);",
+    )
+
+
+def filter_query(plan):
+    """Figure 12a's step: just the ``b0`` selection."""
+    return _lines(
+        _SCAN_IMAGES,
+        _b0_select(plan, ("subjId", "imgId", "img")),
+    )
+
+
+def mean_query(plan):
+    """Figure 12b's step: ``b0 -> mean_b0`` as ``UDA(MeanVol)``."""
+    if plan.op("mean_b0").param("agg") != "mean_volume":
+        raise NotImplementedError("myria lowering: unexpected mean agg")
+    return _lines(
+        _SCAN_IMAGES,
+        _b0_select(plan, ("subjId", "img")),
+        "Means = [FROM B0 EMIT B0.subjId, UDA(MeanVol, B0.img) AS mean];",
+    )
+
+
+def pipeline_query(plan):
+    """Query 2: ``denoise -> repart -> regroup+fitmodel``, starting from
+    the broadcast join that realizes the plan's ``mask_bcast`` op."""
+    if plan.op("denoise").uses != ("mask_bcast",):
+        raise NotImplementedError("myria lowering: denoise must use the mask")
+    if plan.op("regroup").param("key") != ("subject", "block"):
+        raise NotImplementedError("myria lowering: unexpected regroup key")
+    return _lines(
+        _SCAN_IMAGES,
+        "T2 = SCAN(Mask);",
+        "Joined = [SELECT T1.subjId, T1.imgId, T1.img, T2.mask",
+        "          FROM T1, BROADCAST(T2)",
+        "          WHERE T1.subjId = T2.subjId];",
+        "Denoised = [FROM Joined EMIT PYUDF(Denoise, Joined.img, Joined.mask) AS img,",
+        "            Joined.subjId, Joined.imgId];",
+        "Blocks = [FROM Denoised EMIT",
+        "          UNNEST(PYUDF(Repart, Denoised.img)) AS (blockId, imgId, block),",
+        "          Denoised.subjId];",
+        "Fitted = [FROM Blocks EMIT Blocks.subjId, Blocks.blockId,",
+        "          UDA(FitModel, Blocks.block, Blocks.imgId) AS fa];",
+    )
+
+
+MASK_QUERY = mask_query(neuro_plan())
+FILTER_QUERY = filter_query(neuro_plan())
+MEAN_QUERY = mean_query(neuro_plan())
+PIPELINE_QUERY = pipeline_query(neuro_plan())
+
+
+def make_loader(subjects):
+    """Staged volume -> Images row: (subjId, imgId, b0flag, img-blob)."""
+    gtabs = gradient_tables(subjects)
+
+    def loader(volume):
+        subject_id = volume.meta["subject_id"]
+        image_id = volume.meta["image_id"]
+        b0flag = int(bool(gtabs[subject_id].b0s_mask[image_id]))
+        return (subject_id, image_id, b0flag, volume)
+
+    return loader
+
+
+def ingest(conn, subjects, bucket=DEFAULT_BUCKET):
+    """Ingest staged volumes into the ``Images`` relation.
+
+    Each tuple is (subjId, imgId, b0flag, img-blob) -- "each tuple
+    consisting of subject ID, image ID and image volume ... stored using
+    the Myria blob data type" (Section 4.3), plus a scalar b0 flag so
+    the segmentation selection can be pushed into storage.
+    """
+    return conn.ingest_s3(
+        "Images", bucket, IMAGES_COLUMNS, make_loader(subjects),
+        partition_column="subjId",
+    )
+
+
+def register_s3(conn, subjects, bucket=DEFAULT_BUCKET):
+    """End-to-end path: scan the staged volumes directly from S3."""
+    return conn.register_s3_relation(
+        "Images", bucket, IMAGES_COLUMNS, make_loader(subjects)
+    )
+
+
+def register_udfs(conn, subjects, n_blocks=DEFAULT_BLOCKS, mask_fraction=None):
+    """Register every Python UDF/UDA the queries call."""
+    cm = conn.cost_model
+    gtabs = gradient_tables(subjects)
+    if mask_fraction is None:
+        mask_fraction = 0.45  # refined after the mask query runs
+
+    def mean_otsu_uda(volumes):
+        stack = np.stack([v.array for v in volumes], axis=-1)
+        mean = stack.mean(axis=-1)
+        _masked, mask = median_otsu(mean, median_radius=MASK_MEDIAN_RADIUS)
+        return SizedArray(
+            mask, nominal_shape=volumes[0].nominal_shape, meta=volumes[0].meta
+        )
+
+    def mean_otsu_cost(volumes):
+        per = volumes[0].nominal_elements
+        return per * len(volumes) * cm.elementwise_per_element + per * (
+            cm.otsu_per_voxel + 27 * cm.elementwise_per_element
+        )
+
+    def mean_vol_uda(volumes):
+        stack = np.stack([v.array for v in volumes], axis=-1)
+        return volumes[0].with_array(stack.mean(axis=-1))
+
+    def mean_vol_cost(volumes):
+        return (
+            volumes[0].nominal_elements * len(volumes) * cm.elementwise_per_element
+        )
+
+    def denoise(volume, mask):
+        out = nlmeans_3d(volume.array, sigma=DENOISE_SIGMA, mask=mask.array)
+        return volume.with_array(out)
+
+    def repart(volume):
+        rows = []
+        for block_id, block in common.split_volume_blocks(volume, n_blocks):
+            tagged = SizedArray(
+                block.array,
+                nominal_shape=block.nominal_shape,
+                meta={**block.meta, "block_id": block_id},
+            )
+            rows.append((block_id, volume.meta["image_id"], tagged))
+        return rows
+
+    def fit_model(blocks, image_ids):
+        order = np.argsort(image_ids)
+        stacked = np.stack([blocks[i].array for i in order], axis=-1)
+        meta = blocks[0].meta
+        subject_id = meta["subject_id"]
+        gtab = gtabs[subject_id]
+        mask = _MASK_CACHE[subject_id]
+        block_id = _block_of(blocks[0], n_blocks, mask.shape[0])
+        mask_block = mask[block_id]
+        evals = fit_dtm(stacked, gtab, mask=mask_block)
+        fa = fractional_anisotropy(evals)
+        return SizedArray(fa, nominal_shape=blocks[0].nominal_shape, meta=meta)
+
+    def fit_cost(blocks, image_ids):
+        elements = blocks[0].nominal_elements * len(blocks)
+        return elements * mask_fraction * cm.dtm_fit_per_voxel_sample
+
+    conn.create_function("MeanOtsu", udf(mean_otsu_uda, cost=mean_otsu_cost))
+    conn.create_function("MeanVol", udf(mean_vol_uda, cost=mean_vol_cost))
+    conn.create_function(
+        "Denoise", udf(denoise, cost=common.denoise_cost(cm, mask_fraction))
+    )
+    conn.create_function("Repart", udf(repart, cost=common.repart_cost(cm)))
+    conn.create_function("FitModel", udf(fit_model, cost=fit_cost))
+
+
+#: Masks keyed by subject, filled by the mask query before the second
+#: query runs (the paper broadcasts the Mask relation; the FitModel UDA
+#: additionally needs mask blocks, captured here driver-side).
+_MASK_CACHE = {}
+
+
+def _block_of(block, n_blocks, nz):
+    """Recover the mask slice for a voxel block from its z extent."""
+    bounds = np.linspace(0, nz, min(n_blocks, nz) + 1).astype(int)
+    slices = [slice(bounds[i], bounds[i + 1]) for i in range(len(bounds) - 1)]
+    block_id = block.meta.get("block_id")
+    if block_id is not None:
+        return slices[block_id]
+    # Match by block height (blocks carry no id in their meta).
+    for candidate in slices:
+        if candidate.stop - candidate.start == block.array.shape[0]:
+            return candidate
+    return slice(0, nz)
+
+
+def compute_masks(conn, subjects, mode="pipelined"):
+    """Query 1: per-subject masks; stores the Mask relation."""
+    query = MyriaQuery.submit(conn, MASK_QUERY, mode=mode)
+    masks = {}
+    for subj, mask in query.relation("Masks").rows:
+        masks[subj] = mask.array.astype(bool)
+    _MASK_CACHE.clear()
+    _MASK_CACHE.update(masks)
+    return masks
+
+
+def run(conn, subjects, n_blocks=DEFAULT_BLOCKS, mode="pipelined",
+        chunks=1, bucket=DEFAULT_BUCKET, source="s3"):
+    """End-to-end neuroscience pipeline on Myria.
+
+    ``source`` is ``"s3"`` (the paper's end-to-end path: read staged
+    NumPy volumes directly from S3) or ``"ingested"`` (scan previously
+    ingested per-worker PostgreSQL storage).  Returns
+    ``(masks, fa_by_subject)``.
+    """
+    if source == "s3":
+        register_s3(conn, subjects, bucket=bucket)
+    elif source == "ingested":
+        if not conn.server.catalog.get("Images"):
+            ingest(conn, subjects, bucket=bucket)
+    else:
+        raise ValueError(f"unknown source {source!r}")
+    register_udfs(conn, subjects, n_blocks=n_blocks)
+    masks = compute_masks(conn, subjects, mode=mode)
+    mask_fraction = float(np.mean([common.masked_fraction(m) for m in masks.values()]))
+    register_udfs(conn, subjects, n_blocks=n_blocks, mask_fraction=mask_fraction)
+
+    query = MyriaQuery.submit(conn, PIPELINE_QUERY, mode=mode, chunks=chunks)
+    fitted = query.relation("Fitted")
+    fa_by_subject = {}
+    for subj, block_id, fa_block in fitted.rows:
+        fa_by_subject.setdefault(subj, {})[block_id] = fa_block
+    fa = {
+        subject: common.reassemble_blocks(by_id)
+        for subject, by_id in fa_by_subject.items()
+    }
+    return masks, fa
+
+
+class LoweredNeuro:
+    """Executable produced by ``lower(neuro_plan(), conn)``."""
+
+    def __init__(self, plan, conn):
+        self.plan = plan
+        self.conn = conn
+        self.bucket = plan.op("volumes").param("bucket")
+        self.n_blocks = plan.param("n_blocks")
+        self.mask_query = mask_query(plan)
+        self.pipeline_query = pipeline_query(plan)
+
+    def run(self, subjects, mode="pipelined", chunks=1, source="s3"):
+        return run(
+            self.conn, subjects, n_blocks=self.n_blocks, mode=mode,
+            chunks=chunks, bucket=self.bucket, source=source,
+        )

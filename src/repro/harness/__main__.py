@@ -41,7 +41,6 @@ import sys
 
 from repro.harness import experiments as E
 from repro.harness.cache import TrialCache
-from repro.harness.loc import table1_rows
 from repro.harness.parallel import collecting_snapshots, configured
 from repro.harness.report import (
     print_breakdown,
@@ -61,8 +60,9 @@ QUICK_ASTRO = {"scale": 100, "n_sensors": 6}
 
 
 def _run_table1(_quick):
-    print_table(table1_rows("neuro"), title="Table 1 (neuroscience)")
-    print_table(table1_rows("astro"), title="Table 1 (astronomy)")
+    tables = E.table1()
+    print_table(tables["neuro"], title="Table 1 (neuroscience)")
+    print_table(tables["astro"], title="Table 1 (astronomy)")
 
 
 def _run_fig10a(_quick):

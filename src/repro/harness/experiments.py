@@ -15,6 +15,14 @@ from repro.data.catalog import (
     neuro_size_table,
 )
 from repro.engines.base import udf
+from repro.engines.dask.lowering import neuro as neuro_dask
+from repro.engines.myria.lowering import astro as astro_myria
+from repro.engines.myria.lowering import neuro as neuro_myria
+from repro.engines.scidb.lowering import astro as astro_scidb
+from repro.engines.scidb.lowering import neuro as neuro_scidb
+from repro.engines.spark.lowering import astro as astro_spark
+from repro.engines.spark.lowering import neuro as neuro_spark
+from repro.engines.tensorflow.lowering import neuro as neuro_tf
 from repro.harness.parallel import TrialSpec, grid_rows, trial
 from repro.harness.runner import (
     ASTRO_BENCH,
@@ -25,17 +33,10 @@ from repro.harness.runner import (
     fresh_engine,
     neuro_subjects,
 )
-from repro.pipelines.astro import on_myria as astro_myria
-from repro.pipelines.astro import on_scidb as astro_scidb
-from repro.pipelines.astro import on_spark as astro_spark
 from repro.pipelines.astro import reference as astro_ref
 from repro.pipelines.astro.staging import stage_visits
-from repro.pipelines.neuro import on_dask as neuro_dask
-from repro.pipelines.neuro import on_myria as neuro_myria
-from repro.pipelines.neuro import on_scidb as neuro_scidb
-from repro.pipelines.neuro import on_spark as neuro_spark
-from repro.pipelines.neuro import on_tensorflow as neuro_tf
 from repro.pipelines.neuro.staging import gradient_tables, stage_subjects
+from repro.plan import astro_plan, lower, neuro_plan
 
 NEURO_SIZES = (1, 2, 4, 8, 12, 25)
 ASTRO_SIZES = (2, 4, 8, 12, 24)
@@ -43,17 +44,46 @@ CLUSTER_SIZES = (16, 32, 48, 64)
 
 
 # ----------------------------------------------------------------------
-# Figure 10a / 10b: data-size tables
+# Table 1 and Figures 10a / 10b: LoC accounting and data-size tables
+# (registered as trials so they run under the parallel executor and
+# content-addressed cache like every other experiment; they build no
+# clusters, so their payloads carry no snapshots)
 # ----------------------------------------------------------------------
+
+@trial("table1")
+def _trial_table1(use_case):
+    from repro.harness.loc import table1_rows
+
+    return {"rows": table1_rows(use_case)}
+
+
+def table1(use_cases=("neuro", "astro")):
+    """Table 1 LoC rows, keyed by use case."""
+    payloads = grid_rows(
+        TrialSpec("table1", {"use_case": use_case})
+        for use_case in use_cases
+    )
+    return {uc: p["rows"] for uc, p in zip(use_cases, payloads)}
+
+
+@trial("fig10a")
+def _trial_fig10a_sizes():
+    return {"rows": neuro_size_table()}
+
+
+@trial("fig10b")
+def _trial_fig10b_sizes():
+    return {"rows": astro_size_table()}
+
 
 def fig10a_sizes():
     """Fig10a sizes."""
-    return neuro_size_table()
+    return grid_rows([TrialSpec("fig10a", {})])[0]["rows"]
 
 
 def fig10b_sizes():
     """Fig10b sizes."""
-    return astro_size_table()
+    return grid_rows([TrialSpec("fig10b", {})])[0]["rows"]
 
 
 # ----------------------------------------------------------------------
@@ -75,13 +105,13 @@ def run_neuro_end_to_end(kind, subjects, n_nodes=DEFAULT_NODES, **tuning):
     if kind == "spark":
         tuning.setdefault("input_partitions", cluster.spec.total_slots)
         tuning.setdefault("cache_input", True)
-        neuro_spark.run(engine, subjects, **tuning)
     elif kind == "myria":
-        neuro_myria.run(engine, subjects, source="s3", **tuning)
-    elif kind == "dask":
-        neuro_dask.run(engine, subjects, **tuning)
-    else:
+        tuning.setdefault("source", "s3")
+    elif kind != "dask":
         raise ValueError(f"no end-to-end neuroscience runner for {kind!r}")
+    plan_kwargs = {k: tuning.pop(k) for k in ("n_blocks", "bucket")
+                   if k in tuning}
+    lower(neuro_plan(**plan_kwargs), kind, engine).run(subjects, **tuning)
     return watch.lap()
 
 
@@ -94,15 +124,12 @@ def run_astro_end_to_end(kind, visits, n_nodes=DEFAULT_NODES, **tuning):
     watch = Stopwatch(cluster)
     if kind == "spark":
         tuning.setdefault("input_partitions", cluster.spec.total_slots)
-        astro_spark.run(engine, visits, **tuning)
     elif kind == "myria":
-        astro_myria.run(engine, visits, source="s3", **tuning)
-    elif kind == "dask":
-        from repro.pipelines.astro import on_dask as astro_dask
-
-        astro_dask.run(engine, visits, **tuning)
-    else:
+        tuning.setdefault("source", "s3")
+    elif kind != "dask":
         raise ValueError(f"no end-to-end astronomy runner for {kind!r}")
+    plan_kwargs = {k: tuning.pop(k) for k in ("bucket",) if k in tuning}
+    lower(astro_plan(**plan_kwargs), kind, engine).run(visits, **tuning)
     return watch.lap()
 
 
@@ -988,15 +1015,29 @@ def s533_spark_caching(subject_counts=(1, 4, 12, 25), n_nodes=DEFAULT_NODES,
 # Ablation: SciDB incremental iterative processing ([34], Section 5.2.4)
 # ----------------------------------------------------------------------
 
+@trial("ablation_scidb")
+def _trial_ablation_scidb(incremental, n_visits, profile):
+    visits = astro_visits(n_visits, **profile)
+    return {
+        "variant": "incremental [34]" if incremental else "stock AQL",
+        "simulated_s": _coadd_once("scidb", visits, incremental=incremental),
+    }
+
+
 def ablation_scidb_incremental(n_visits=24, profile=None):
     """Ablation scidb incremental."""
     profile = profile or ASTRO_BENCH
-    visits = astro_visits(n_visits, **profile)
-    stock = _coadd_once("scidb", visits, incremental=False)
-    incremental = _coadd_once("scidb", visits, incremental=True)
-    return [
-        {"variant": "stock AQL", "simulated_s": stock},
-        {"variant": "incremental [34]", "simulated_s": incremental},
+    rows = grid_rows(
+        TrialSpec(
+            "ablation_scidb",
+            {"incremental": incremental, "n_visits": n_visits,
+             "profile": dict(profile)},
+            engine="scidb",
+        )
+        for incremental in (False, True)
+    )
+    stock, incremental = (r["simulated_s"] for r in rows)
+    return rows + [
         {"variant": "speedup", "simulated_s": stock / incremental},
     ]
 
@@ -1218,35 +1259,64 @@ def _f16_tf_compute(engine, subjects):
 # Future-work ablations (Section 6)
 # ----------------------------------------------------------------------
 
+@trial("ablation_tf")
+def _trial_ablation_tf(free_conversions, n_subjects, profile):
+    from repro.cluster.costs import CostModel
+
+    subjects = neuro_subjects(n_subjects, **profile)
+    cost_model = CostModel()
+    if free_conversions:
+        cost_model = cost_model.with_overrides(tensor_convert_bandwidth=1e18)
+    cluster, engine = fresh_engine("tensorflow", cost_model=cost_model)
+    filtered = [neuro_tf.filter_step(engine, s) for s in subjects]
+    watch = Stopwatch(cluster)
+    for f in filtered:
+        neuro_tf.mean_step(engine, f)
+    return {
+        "variant": "free conversions" if free_conversions
+                   else "stock TensorFlow",
+        "simulated_s": watch.lap(),
+    }
+
+
 def ablation_tf_format_conversion(n_subjects=4, profile=None):
     """Section 6, "Data Formats": "An interesting area of future work is
     to optimize away these format conversions."  Re-runs the TensorFlow
     mean step with tensor conversion made free, quantifying how much of
     TF's Figure 12b deficit the conversions explain.
     """
-    from repro.cluster.costs import CostModel
-    from repro.harness.runner import Stopwatch, fresh_engine
-
     profile = profile or NEURO_BENCH
-    subjects = neuro_subjects(n_subjects, **profile)
-
-    def run(cost_model):
-        cluster, engine = fresh_engine("tensorflow", cost_model=cost_model)
-        filtered = [neuro_tf.filter_step(engine, s) for s in subjects]
-        watch = Stopwatch(cluster)
-        for f in filtered:
-            neuro_tf.mean_step(engine, f)
-        return watch.lap()
-
-    stock = run(CostModel())
-    no_conversion = run(
-        CostModel().with_overrides(tensor_convert_bandwidth=1e18)
+    rows = grid_rows(
+        TrialSpec(
+            "ablation_tf",
+            {"free_conversions": free, "n_subjects": n_subjects,
+             "profile": dict(profile)},
+            engine="tensorflow",
+        )
+        for free in (False, True)
     )
-    return [
-        {"variant": "stock TensorFlow", "simulated_s": stock},
-        {"variant": "free conversions", "simulated_s": no_conversion},
-        {"variant": "conversion share", "simulated_s": 1 - no_conversion / stock},
+    stock, no_conversion = (r["simulated_s"] for r in rows)
+    return rows + [
+        {"variant": "conversion share",
+         "simulated_s": 1 - no_conversion / stock},
     ]
+
+
+@trial("ablation_tuning")
+def _trial_ablation_tuning(tuned, n_nodes, profile):
+    subjects = neuro_subjects(1, **profile)
+    if tuned:
+        simulated = run_neuro_end_to_end("spark", subjects, n_nodes=n_nodes)
+    else:
+        simulated = run_neuro_end_to_end(
+            "spark", subjects, n_nodes=n_nodes,
+            input_partitions=None,  # the HDFS-block default
+            group_partitions=None,
+        )
+    return {
+        "variant": "tuned partitions" if tuned else "default partitions",
+        "simulated_s": simulated,
+    }
 
 
 def ablation_spark_self_tuning(profile=None, n_nodes=DEFAULT_NODES):
@@ -1257,15 +1327,15 @@ def ablation_spark_self_tuning(profile=None, n_nodes=DEFAULT_NODES):
     partitions" (Section 5.3.1).
     """
     profile = profile or {"scale": NEURO_BENCH["scale"], "n_volumes": 288}
-    subjects = neuro_subjects(1, **profile)
-    default = run_neuro_end_to_end(
-        "spark", subjects, n_nodes=n_nodes,
-        input_partitions=None,  # the HDFS-block default
-        group_partitions=None,
+    rows = grid_rows(
+        TrialSpec(
+            "ablation_tuning",
+            {"tuned": tuned, "n_nodes": n_nodes, "profile": dict(profile)},
+            engine="spark",
+        )
+        for tuned in (False, True)
     )
-    tuned = run_neuro_end_to_end("spark", subjects, n_nodes=n_nodes)
-    return [
-        {"variant": "default partitions", "simulated_s": default},
-        {"variant": "tuned partitions", "simulated_s": tuned},
+    default, tuned = (r["simulated_s"] for r in rows)
+    return rows + [
         {"variant": "speedup", "simulated_s": default / tuned},
     ]

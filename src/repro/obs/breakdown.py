@@ -2,8 +2,8 @@
 
 Grouping prefers explicit structure: a task recorded under a span is
 attributed to that span's name.  Tasks recorded outside any span fall
-back to the name-prefix heuristic that ``harness.tracing`` has always
-used, so hand-built clusters summarize exactly as before.
+back to a name-prefix heuristic, so hand-built clusters summarize
+exactly as before.
 """
 
 from collections import defaultdict

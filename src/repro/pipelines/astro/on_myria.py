@@ -1,196 +1,15 @@
-"""The astronomy pipeline on miniMyria (Section 4.3).
+"""Thin re-export: the astro pipeline is defined once in
+``repro.plan.astro`` and lowered by ``repro.engines.myria.lowering``."""
 
-MyriaL drives the plan; reference step functions run as Python
-UDFs/UDAs.  Patch ids travel as key columns (Myria supports arbitrary
-hashable keys through its shuffle), visits as longs, image payloads as
-blobs.
-"""
-
-from repro.engines.base import udf
-from repro.engines.myria.connection import MyriaQuery
-from repro.pipelines import common
-from repro.pipelines.astro import reference as ref
-from repro.pipelines.astro.staging import DEFAULT_BUCKET
-
-EXPOSURES_COLUMNS = ("expId", "visit", "sensor", "x0", "img")
-
-PIPELINE_QUERY = """
-E = SCAN(Exposures);
-Calib = [FROM E EMIT PYUDF(Preproc, E.img) AS img, E.visit, E.expId];
-Pieces = [FROM Calib EMIT
-          UNNEST(PYUDF(PatchMap, Calib.img)) AS (patchY, patchX, visitId, piece)];
-PatchExp = [FROM Pieces EMIT Pieces.patchY, Pieces.patchX, Pieces.visitId,
-            UDA(Stitch, Pieces.piece) AS img];
-Coadds = [FROM PatchExp EMIT PatchExp.patchY, PatchExp.patchX,
-          UDA(CoaddAgg, PatchExp.img, PatchExp.visitId) AS coadd];
-Sources = [FROM Coadds EMIT Coadds.patchY, Coadds.patchX,
-           PYUDF(Detect, Coadds.coadd) AS srcs];
-"""
-
-
-def _loader(exposure):
-    exp_id = exposure.visit_id * 1000 + exposure.sensor_id
-    return (
-        exp_id,
-        exposure.visit_id,
-        exposure.sensor_id,
-        exposure.sky_box.x0,
-        exposure,
-    )
-
-
-def ingest(conn, visits, bucket=DEFAULT_BUCKET):
-    """Ingest staged exposures into the ``Exposures`` relation."""
-    return conn.ingest_s3(
-        "Exposures", bucket, EXPOSURES_COLUMNS, _loader, partition_column="expId"
-    )
-
-
-def register_s3(conn, bucket=DEFAULT_BUCKET):
-    """End-to-end path: scan staged FITS exposures directly from S3."""
-    return conn.register_s3_relation(
-        "Exposures", bucket, EXPOSURES_COLUMNS, _loader
-    )
-
-
-def register_udfs(conn, grid, pixel_scale):
-    """Register udfs."""
-    cm = conn.cost_model
-
-    def patch_map(exposure):
-        rows = []
-        for (patch_id, visit_id), piece in ref.patch_pieces(
-            exposure, grid, pixel_scale
-        ):
-            rows.append((patch_id[0], patch_id[1], visit_id, piece))
-        return rows
-
-    def stitch_uda(pieces):
-        return ref.stitch_pieces(list(pieces))
-
-    def coadd_uda(imgs, visit_ids):
-        ordered = [img for _v, img in sorted(zip(visit_ids, imgs))]
-        return ref.coadd_patch(ordered)
-
-    def coadd_uda_cost(imgs, visit_ids):
-        return common.coadd_cost(cm, ref.COADD_ITERATIONS)(list(imgs))
-
-    conn.create_function(
-        "Preproc", udf(ref.preprocess_exposure, cost=common.preprocess_cost(cm))
-    )
-    conn.create_function(
-        "PatchMap", udf(patch_map, cost=common.patch_map_cost(cm))
-    )
-    conn.create_function(
-        "Stitch", udf(stitch_uda, cost=lambda pieces: common.stitch_cost(cm)(list(pieces)))
-    )
-    conn.create_function("CoaddAgg", udf(coadd_uda, cost=coadd_uda_cost))
-    conn.create_function("Detect", udf(ref.detect, cost=common.detect_cost(cm)))
-
-
-def band_query(x_lo, x_hi, px_lo, px_hi):
-    """The pipeline restricted to a band of patch columns.
-
-    Used by multi-query execution (Figure 15): "the system must cut the
-    data analysis into even smaller pieces" -- patches are independent,
-    so the sky is processed one column band at a time.  The band
-    predicate pushes down to the scalar ``x0`` column of the Exposures
-    relation, so each sub-query only preprocesses exposures that can
-    contribute to its band (boundary exposures are processed twice).
-    """
-    return f"""
-E = SCAN(Exposures);
-InBand = [SELECT E.expId, E.visit, E.img FROM E
-          WHERE E.x0 >= {px_lo} AND E.x0 < {px_hi}];
-Calib = [FROM InBand EMIT PYUDF(Preproc, InBand.img) AS img,
-         InBand.visit, InBand.expId];
-Pieces = [FROM Calib EMIT
-          UNNEST(PYUDF(PatchMap, Calib.img)) AS (patchY, patchX, visitId, piece)];
-Band = [SELECT Pieces.patchY, Pieces.patchX, Pieces.visitId, Pieces.piece
-        FROM Pieces
-        WHERE Pieces.patchX >= {x_lo} AND Pieces.patchX < {x_hi}];
-PatchExp = [FROM Band EMIT Band.patchY, Band.patchX, Band.visitId,
-            UDA(Stitch, Band.piece) AS img];
-Coadds = [FROM PatchExp EMIT PatchExp.patchY, PatchExp.patchX,
-          UDA(CoaddAgg, PatchExp.img, PatchExp.visitId) AS coadd];
-Sources = [FROM Coadds EMIT Coadds.patchY, Coadds.patchX,
-           PYUDF(Detect, Coadds.coadd) AS srcs];
-"""
-
-
-def run(conn, visits, mode="pipelined", chunks=1, bucket=DEFAULT_BUCKET,
-        grid=None, source="s3"):
-    """End-to-end astronomy pipeline; returns ``(coadds, sources)``.
-
-    ``mode`` is ``"pipelined"`` or ``"materialized"``; pass
-    ``mode="multiquery"`` with ``chunks=k`` to process the sky in ``k``
-    patch-column bands as separate (materialized) queries.  ``source``
-    selects direct S3 scans (the paper's end-to-end path) or ingested
-    PostgreSQL storage.
-    """
-    exposures = [e for v in visits for e in v.exposures]
-    if grid is None:
-        grid = ref.default_patch_grid(exposures[0].shape)
-    pixel_scale = ref.nominal_pixel_scale(exposures[0].shape, exposures[0].bundle)
-
-    if source == "s3":
-        register_s3(conn, bucket=bucket)
-    elif source == "ingested":
-        if not conn.server.catalog.get("Exposures"):
-            ingest(conn, visits, bucket=bucket)
-    else:
-        raise ValueError(f"unknown source {source!r}")
-    register_udfs(conn, grid, pixel_scale)
-
-    coadds = {}
-    sources = {}
-    if mode == "multiquery":
-        if chunks < 2:
-            raise ValueError("multiquery mode requires chunks >= 2")
-        xs = sorted(
-            {
-                patch[1]
-                for e in exposures
-                for patch in grid.overlapping_patches(e.sky_box)
-            }
-        )
-        bounds = [xs[0] + (xs[-1] + 1 - xs[0]) * i // chunks for i in range(chunks + 1)]
-        width = exposures[0].shape[1]
-        from repro.pipelines.astro.staging import exposure_key
-
-        bands = []
-        for i in range(chunks):
-            if bounds[i] >= bounds[i + 1]:
-                continue
-            # Pixel bounds for the exposure-level pushdown: an exposure
-            # of width w contributes to band [lo, hi) patch columns iff
-            # its x0 lies in [lo * pw - w, hi * pw).
-            px_lo = max(0, bounds[i] * grid.patch_width - width)
-            px_hi = bounds[i + 1] * grid.patch_width
-            # The file list for this band (Myria consumes a csv list of
-            # files, so only in-band exposures are even fetched).
-            band_keys = [
-                exposure_key(e.visit_id, e.sensor_id)
-                for e in exposures
-                if px_lo <= e.sky_box.x0 < px_hi
-            ]
-            bands.append(
-                (band_query(bounds[i], bounds[i + 1], px_lo, px_hi), band_keys)
-            )
-        for text, band_keys in bands:
-            conn.register_s3_relation(
-                "Exposures", bucket, EXPOSURES_COLUMNS, _loader, keys=band_keys
-            )
-            query = MyriaQuery.submit(conn, text, mode="materialized")
-            for patch_y, patch_x, coadd_img in query.relation("Coadds").rows:
-                coadds[(patch_y, patch_x)] = coadd_img
-            for patch_y, patch_x, srcs in query.relation("Sources").rows:
-                sources[(patch_y, patch_x)] = srcs
-        return coadds, sources
-
-    query = MyriaQuery.submit(conn, PIPELINE_QUERY, mode=mode)
-    for patch_y, patch_x, coadd_img in query.relation("Coadds").rows:
-        coadds[(patch_y, patch_x)] = coadd_img
-    for patch_y, patch_x, srcs in query.relation("Sources").rows:
-        sources[(patch_y, patch_x)] = srcs
-    return coadds, sources
+from repro.engines.myria.lowering.astro import (  # noqa: F401
+    DEFAULT_BUCKET,
+    EXPOSURES_COLUMNS,
+    PIPELINE_QUERY,
+    LoweredAstro,
+    _loader,
+    band_query,
+    ingest,
+    register_s3,
+    register_udfs,
+    run,
+)

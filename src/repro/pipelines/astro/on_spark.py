@@ -1,85 +1,9 @@
-"""The astronomy pipeline on miniSpark (Section 4.2).
+"""Thin re-export: the astro pipeline is defined once in
+``repro.plan.astro`` and lowered by ``repro.engines.spark.lowering``."""
 
-Same structure as the neuroscience case: pair RDDs keyed by image
-fragment identifiers, reference step functions as lambdas, shuffles at
-the two grouping points (patch creation and co-addition).
-"""
-
-from repro.engines.base import udf
-from repro.pipelines import common
-from repro.pipelines.astro import reference as ref
-from repro.pipelines.astro.staging import DEFAULT_BUCKET
-
-
-def build_exposure_rdd(sc, partitions=None, bucket=DEFAULT_BUCKET, cache=False):
-    """Build exposure rdd."""
-    rdd = sc.s3_objects(bucket, numPartitions=partitions)
-    if cache:
-        rdd = rdd.cache()
-    return rdd
-
-
-def run(sc, visits, input_partitions=None, group_partitions=None,
-        bucket=DEFAULT_BUCKET, grid=None):
-    """End-to-end astronomy pipeline; returns ``(coadds, sources)``."""
-    cm = sc.cost_model
-    exposures = [e for v in visits for e in v.exposures]
-    if grid is None:
-        grid = ref.default_patch_grid(exposures[0].shape)
-    pixel_scale = ref.nominal_pixel_scale(exposures[0].shape, exposures[0].bundle)
-
-    exp_rdd = build_exposure_rdd(sc, partitions=input_partitions, bucket=bucket)
-
-    calibrated = exp_rdd.map(
-        udf(ref.preprocess_exposure, cost=common.preprocess_cost(cm))
-    )
-
-    def to_pieces(exposure):
-        return ref.patch_pieces(exposure, grid, pixel_scale)
-
-    pieces = calibrated.flatMap(udf(to_pieces, cost=common.patch_map_cost(cm)))
-
-    def stitch(kv):
-        key, group = kv
-        return key, ref.stitch_pieces(group)
-
-    def stitch_cost(kv):
-        return common.stitch_cost(cm)(kv[1])
-
-    patch_exposures = (
-        pieces.groupByKey(numPartitions=group_partitions or sc.cluster.spec.total_slots)
-        .map(udf(stitch, cost=stitch_cost))
-    )
-
-    def rekey(kv):
-        (patch_id, visit_id), stitched = kv
-        return patch_id, (visit_id, stitched)
-
-    def coadd(kv):
-        patch_id, entries = kv
-        ordered = [s for _v, s in sorted(entries, key=lambda e: e[0])]
-        return patch_id, ref.coadd_patch(ordered)
-
-    def coadd_cost(kv):
-        return common.coadd_cost(cm, ref.COADD_ITERATIONS)(
-            [s for _v, s in kv[1]]
-        )
-
-    def detect(kv):
-        patch_id, coadd_img = kv
-        return patch_id, (coadd_img, ref.detect(coadd_img))
-
-    def detect_cost(kv):
-        return common.detect_cost(cm)(kv[1])
-
-    results = (
-        patch_exposures.map(udf(rekey))
-        .groupByKey(numPartitions=group_partitions or sc.cluster.spec.total_slots)
-        .map(udf(coadd, cost=coadd_cost))
-        .map(udf(detect, cost=detect_cost))
-        .collect()
-    )
-
-    coadds = {patch: coadd_img for patch, (coadd_img, _s) in results}
-    sources = {patch: srcs for patch, (_c, srcs) in results}
-    return coadds, sources
+from repro.engines.spark.lowering.astro import (  # noqa: F401
+    DEFAULT_BUCKET,
+    LoweredAstro,
+    build_exposure_rdd,
+    run,
+)

@@ -1,172 +1,15 @@
-"""The neuroscience pipeline on miniSpark (Section 4.2, Figure 6).
+"""Thin re-export: the neuro pipeline is defined once in
+``repro.plan.neuro`` and lowered by ``repro.engines.spark.lowering``."""
 
-The implementation mirrors the paper's structure: pair records keyed by
-(subject, image) with NumPy-array values, the mask as a broadcast
-variable to avoid a join, and the Figure 6 chain::
-
-    modelsRDD = imgRDD.map(denoise).flatMap(repart)
-                      .groupBy(subject, block).map(regroup).map(fitmodel)
-"""
-
-import numpy as np
-
-from repro.algorithms.dtm import fit_dtm, fractional_anisotropy
-from repro.algorithms.nlmeans import nlmeans_3d
-from repro.algorithms.otsu import median_otsu
-from repro.engines.base import udf
-from repro.formats.sizing import SizedArray
-from repro.pipelines import common
-from repro.pipelines.neuro.reference import DENOISE_SIGMA, MASK_MEDIAN_RADIUS
-from repro.pipelines.neuro.staging import DEFAULT_BUCKET, gradient_tables
-
-DEFAULT_BLOCKS = 8
-
-
-def build_image_rdd(sc, partitions=None, bucket=DEFAULT_BUCKET, cache=False):
-    """The staged-volume RDD; records are SizedArray volumes with
-    subject/image metadata."""
-    rdd = sc.s3_objects(bucket, numPartitions=partitions)
-    if cache:
-        rdd = rdd.cache()
-    return rdd
-
-
-def filter_b0(sc, img_rdd, gtabs):
-    """Figure 12a's step: select the non-diffusion-weighted volumes."""
-    def is_b0(volume):
-        gtab = gtabs[volume.meta["subject_id"]]
-        return bool(gtab.b0s_mask[volume.meta["image_id"]])
-
-    return img_rdd.filter(udf(is_b0))
-
-
-def mean_b0(sc, b0_rdd):
-    """Figure 12b's step: per-subject mean volume via reduceByKey."""
-    cm = sc.cost_model
-
-    def to_pair(volume):
-        return volume.meta["subject_id"], (volume.array.astype(np.float64), 1, volume)
-
-    def add(a, b):
-        return a[0] + b[0], a[1] + b[1], a[2]
-
-    def add_cost(a, b):
-        return a[2].nominal_elements * cm.elementwise_per_element
-
-    def finish(acc):
-        total, count, volume = acc
-        return SizedArray(
-            total / count, nominal_shape=volume.nominal_shape, meta=volume.meta
-        )
-
-    return (
-        b0_rdd.map(udf(to_pair))
-        .reduceByKey(udf(add, cost=add_cost), numPartitions=sc.cluster.spec.n_nodes)
-        .mapValues(udf(finish))
-    )
-
-
-def segmentation(sc, img_rdd, gtabs):
-    """Step 1-N: returns ``{subject_id: mask ndarray}``."""
-    cm = sc.cost_model
-    means = mean_b0(sc, filter_b0(sc, img_rdd, gtabs))
-
-    def to_mask(mean_volume):
-        _masked, mask = median_otsu(
-            mean_volume.array, median_radius=MASK_MEDIAN_RADIUS
-        )
-        return mask
-
-    masks_rdd = means.mapValues(udf(to_mask, cost=common.otsu_cost(cm)))
-    return dict(masks_rdd.collect())
-
-
-def denoise_and_fit(sc, img_rdd, gtabs, masks, n_blocks=DEFAULT_BLOCKS,
-                    group_partitions=None):
-    """Steps 2-N and 3-N (the Figure 6 chain); returns
-    ``{subject_id: fa SizedArray}``."""
-    cm = sc.cost_model
-    mask_fraction = float(
-        np.mean([common.masked_fraction(m) for m in masks.values()])
-    )
-    mask_bytes = sum(m.size for m in masks.values())
-    masks_b = sc.broadcast(masks, nominal_bytes=mask_bytes)
-
-    def denoise(volume):
-        mask = masks_b.value[volume.meta["subject_id"]]
-        out = nlmeans_3d(volume.array, sigma=DENOISE_SIGMA, mask=mask)
-        return volume.with_array(out)
-
-    def repart(volume):
-        pairs = []
-        for block_id, block in common.split_volume_blocks(volume, n_blocks):
-            key = (volume.meta["subject_id"], block_id)
-            pairs.append((key, (volume.meta["image_id"], block)))
-        return pairs
-
-    def regroup(kv):
-        key, entries = kv
-        ordered = sorted(entries, key=lambda e: e[0])
-        stacked = np.stack([e[1].array for e in ordered], axis=-1)
-        nominal = ordered[0][1].nominal_shape + (len(ordered),)
-        return key, SizedArray(stacked, nominal_shape=nominal)
-
-    def regroup_cost(kv):
-        _key, entries = kv
-        return sum(e[1].nominal_bytes for e in entries) * cm.memcpy_per_byte
-
-    def fitmodel(kv):
-        (subject_id, block_id), stacked = kv
-        gtab = gtabs[subject_id]
-        mask = masks_b.value[subject_id]
-        block_slices = _block_slices(mask.shape[0], n_blocks)
-        mask_block = mask[block_slices[block_id]]
-        evals = fit_dtm(stacked.array, gtab, mask=mask_block)
-        fa = fractional_anisotropy(evals)
-        nominal = stacked.nominal_shape[:-1]
-        return (subject_id, block_id), SizedArray(fa, nominal_shape=nominal)
-
-    def fit_cost(kv):
-        _key, stacked = kv
-        return stacked.nominal_elements * mask_fraction * cm.dtm_fit_per_voxel_sample
-
-    models = (
-        img_rdd.map(udf(denoise, cost=common.denoise_cost(cm, mask_fraction)))
-        .flatMap(udf(repart, cost=common.repart_cost(cm)))
-        .groupByKey(numPartitions=group_partitions or sc.cluster.spec.total_slots)
-        .map(udf(regroup, cost=regroup_cost))
-        .map(udf(fitmodel, cost=fit_cost))
-    )
-    blocks = models.collect()
-
-    fa_by_subject = {}
-    for (subject_id, block_id), fa_block in blocks:
-        fa_by_subject.setdefault(subject_id, {})[block_id] = fa_block
-    return {
-        subject: common.reassemble_blocks(by_id)
-        for subject, by_id in fa_by_subject.items()
-    }
-
-
-def run(sc, subjects, input_partitions=None, group_partitions=None,
-        cache_input=False, n_blocks=DEFAULT_BLOCKS, bucket=DEFAULT_BUCKET):
-    """End-to-end neuroscience pipeline on Spark.
-
-    Data must already be staged (see
-    :func:`repro.pipelines.neuro.staging.stage_subjects`).  Returns
-    ``(masks, fa_by_subject)``.
-    """
-    gtabs = gradient_tables(subjects)
-    img_rdd = build_image_rdd(sc, partitions=input_partitions, bucket=bucket,
-                              cache=cache_input)
-    masks = segmentation(sc, img_rdd, gtabs)
-    fa = denoise_and_fit(
-        sc, img_rdd, gtabs, masks,
-        n_blocks=n_blocks, group_partitions=group_partitions,
-    )
-    return masks, fa
-
-
-def _block_slices(nz, n_blocks):
-    bounds = np.linspace(0, nz, min(n_blocks, nz) + 1).astype(int)
-    return [slice(bounds[i], bounds[i + 1]) for i in range(len(bounds) - 1)]
+from repro.engines.spark.lowering.neuro import (  # noqa: F401
+    DEFAULT_BLOCKS,
+    DEFAULT_BUCKET,
+    LoweredNeuro,
+    _block_slices,
+    build_image_rdd,
+    denoise_and_fit,
+    filter_b0,
+    mean_b0,
+    run,
+    segmentation,
+)

@@ -1,0 +1,50 @@
+"""repro.plan — logical dataflow IR with per-engine lowering backends.
+
+Both scientific pipelines are defined exactly once here
+(:func:`neuro_plan`, :func:`astro_plan`); each engine translates a plan
+into its native execution model through
+``repro.engines.<engine>.lowering.lower(plan, ctx)``.  :func:`lower`
+dispatches by engine name so harness code never imports a lowering
+module directly.
+"""
+
+from importlib import import_module
+
+from repro.plan.astro import astro_plan
+from repro.plan.ir import LogicalPlan, Op, PlanError
+from repro.plan.neuro import neuro_plan
+
+# Engine name -> module that exposes lower(plan, ctx).
+ENGINE_LOWERINGS = {
+    "spark": "repro.engines.spark.lowering",
+    "dask": "repro.engines.dask.lowering",
+    "myria": "repro.engines.myria.lowering",
+    "scidb": "repro.engines.scidb.lowering",
+    "tensorflow": "repro.engines.tensorflow.lowering",
+}
+
+
+def lower(plan, engine, ctx):
+    """Lower ``plan`` for ``engine`` against execution context ``ctx``.
+
+    ``ctx`` is the engine's native entry point (SparkContext, Dask
+    client, Myria connection, SciDB handle, TF session).  Returns the
+    engine's lowered-pipeline object; raises :class:`NotImplementedError`
+    for plan/engine combinations the paper marks NA.
+    """
+    try:
+        module_name = ENGINE_LOWERINGS[engine]
+    except KeyError:
+        raise PlanError(f"no lowering backend for engine {engine!r}")
+    return import_module(module_name).lower(plan, ctx)
+
+
+__all__ = [
+    "LogicalPlan",
+    "Op",
+    "PlanError",
+    "ENGINE_LOWERINGS",
+    "astro_plan",
+    "lower",
+    "neuro_plan",
+]

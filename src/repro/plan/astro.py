@@ -1,0 +1,50 @@
+"""The astronomy (LSST coadd) pipeline, stated once.
+
+Scan FITS exposures, calibrate them (bias/flat pre-processing), cut each
+exposure into sky patches, stitch per-(patch, visit) piece groups into
+patch exposures, sigma-clipped coadd across visits, and run source
+detection on each coadd.
+
+Myria's x0-pushdown band queries, SciDB's AQL incremental coadd, and the
+Spark/Dask shuffle choices are lowering decisions; the logical structure
+below is what the paper holds constant across systems.
+"""
+
+from __future__ import annotations
+
+from repro.pipelines.astro import reference as ref
+from repro.pipelines.astro.staging import DEFAULT_BUCKET
+from repro.plan.ir import (
+    LogicalPlan,
+    flat_map,
+    group_by,
+    map_,
+    materialize,
+    scan,
+)
+
+
+def astro_plan(bucket=DEFAULT_BUCKET):
+    """Build and validate the logical astronomy plan."""
+    ops = (
+        scan("exposures", step="Data Ingest", format="fits", bucket=bucket),
+        map_("preprocess", "exposures", step="Pre-processing",
+             kernel="preprocess_exposure"),
+        flat_map("patches", "preprocess", step="Patch Creation",
+                 kernel="patch_pieces"),
+        group_by("stitch", "patches", step="Patch Creation",
+                 key=("patch", "visit"), agg="stitch_pieces",
+                 partitions="total_slots"),
+        group_by("coadd", "stitch", step="Co-addition", key="patch",
+                 agg="coadd_patch", partitions="total_slots", rekey=True,
+                 n_sigma=ref.COADD_SIGMA, n_iter=ref.COADD_ITERATIONS),
+        map_("detect", "coadd", step="Source Detection", kernel="detect"),
+        materialize("sources", "detect", step="Source Detection",
+                    blame="detect-collect"),
+    )
+    plan = LogicalPlan(
+        name="astro",
+        ops=ops,
+        params={"bucket": bucket},
+    )
+    return plan.validate()

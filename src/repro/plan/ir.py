@@ -1,0 +1,215 @@
+"""Logical dataflow IR shared by both scientific pipelines.
+
+A :class:`LogicalPlan` is a small DAG of typed operators (``scan``,
+``filter``, ``map``, ``flat_map``, ``group_by``, ``join``, ``broadcast``,
+``materialize``).  Each pipeline (neuro, astro) is expressed exactly once
+as a plan; every engine owns a lowering backend
+(``repro.engines.<engine>.lowering``) that translates the plan into its
+native execution model.  The plan carries only *logical* structure plus
+format/partitioning metadata — kernel bodies, cost models, and physical
+choices (shuffle placement, broadcast strategy, chunking) live in the
+lowerings.
+
+Operators carry two pieces of cross-cutting metadata the harness relies
+on:
+
+``step``
+    the paper-facing pipeline step the op belongs to (``"Segmentation"``,
+    ``"Co-addition"``, ...) — used by ``loc.py`` for Table 1 accounting.
+
+``blame``
+    required on every ``materialize``: the blame-category tag the
+    engine must attach when it forces the result (``validate()`` lints
+    this so an untagged materialization cannot ship).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+OP_KINDS = (
+    "scan",
+    "filter",
+    "map",
+    "flat_map",
+    "group_by",
+    "join",
+    "broadcast",
+    "materialize",
+)
+
+
+class PlanError(ValueError):
+    """A logical plan failed validation."""
+
+
+@dataclass(frozen=True)
+class Op:
+    """One typed operator in a logical plan."""
+
+    op_id: str
+    kind: str
+    parents: Tuple[str, ...] = ()
+    step: Optional[str] = None
+    blame: Optional[str] = None
+    uses: Tuple[str, ...] = ()
+    params: Dict[str, object] = field(default_factory=dict)
+
+    def param(self, name, default=None):
+        return self.params.get(name, default)
+
+
+def scan(op_id, *, step, format, **params):
+    params["format"] = format
+    return Op(op_id, "scan", (), step=step, params=params)
+
+
+def filter_(op_id, parent, *, step, **params):
+    return Op(op_id, "filter", (parent,), step=step, params=params)
+
+
+def map_(op_id, parent, *, step, uses=(), **params):
+    return Op(op_id, "map", (parent,), step=step, uses=tuple(uses),
+              params=params)
+
+
+def flat_map(op_id, parent, *, step, uses=(), **params):
+    return Op(op_id, "flat_map", (parent,), step=step, uses=tuple(uses),
+              params=params)
+
+
+def group_by(op_id, parent, *, step, key, agg, partitions=None, **params):
+    params.update({"key": key, "agg": agg, "partitions": partitions})
+    return Op(op_id, "group_by", (parent,), step=step, params=params)
+
+
+def join(op_id, left, right, *, step, on, **params):
+    params["on"] = on
+    return Op(op_id, "join", (left, right), step=step, params=params)
+
+
+def broadcast(op_id, parent, *, step, **params):
+    return Op(op_id, "broadcast", (parent,), step=step, params=params)
+
+
+def materialize(op_id, parent, *, step, blame, **params):
+    return Op(op_id, "materialize", (parent,), step=step, blame=blame,
+              params=params)
+
+
+@dataclass(frozen=True)
+class LogicalPlan:
+    """An ordered DAG of :class:`Op` nodes plus plan-level parameters."""
+
+    name: str
+    ops: Tuple[Op, ...]
+    params: Dict[str, object] = field(default_factory=dict)
+
+    def op(self, op_id):
+        for op in self.ops:
+            if op.op_id == op_id:
+                return op
+        raise KeyError(op_id)
+
+    def chain(self, first, last):
+        """The linear run of ops from ``first`` to ``last`` inclusive.
+
+        Follows single-parent edges backward from ``last``; raises
+        :class:`PlanError` if the segment branches or never reaches
+        ``first``.
+        """
+        segment = [self.op(last)]
+        while segment[-1].op_id != first:
+            op = segment[-1]
+            if len(op.parents) != 1:
+                raise PlanError(
+                    f"{self.name}: chain({first!r}, {last!r}) crosses "
+                    f"non-linear op {op.op_id!r}"
+                )
+            segment.append(self.op(op.parents[0]))
+        return tuple(reversed(segment))
+
+    def children_of(self, op_id):
+        return tuple(op for op in self.ops if op_id in op.parents)
+
+    def param(self, name, default=None):
+        return self.params.get(name, default)
+
+    def validate(self):
+        """Lint the plan; raises :class:`PlanError` on the first defect."""
+        seen = set()
+        for op in self.ops:
+            if op.op_id in seen:
+                raise PlanError(f"{self.name}: duplicate op id {op.op_id!r}")
+            if op.kind not in OP_KINDS:
+                raise PlanError(
+                    f"{self.name}: {op.op_id!r} has unknown kind {op.kind!r}"
+                )
+            for parent in op.parents:
+                if parent not in seen:
+                    raise PlanError(
+                        f"{self.name}: {op.op_id!r} references parent "
+                        f"{parent!r} that is undefined or defined later"
+                    )
+            if op.step is None:
+                raise PlanError(f"{self.name}: {op.op_id!r} has no step label")
+            if op.kind == "scan":
+                if op.parents:
+                    raise PlanError(
+                        f"{self.name}: scan {op.op_id!r} must not have parents"
+                    )
+                if not op.param("format"):
+                    raise PlanError(
+                        f"{self.name}: scan {op.op_id!r} lacks a format"
+                    )
+            elif not op.parents:
+                raise PlanError(
+                    f"{self.name}: {op.kind} {op.op_id!r} has no parents"
+                )
+            if op.kind == "group_by":
+                if not op.param("key") or not op.param("agg"):
+                    raise PlanError(
+                        f"{self.name}: group_by {op.op_id!r} needs key and agg"
+                    )
+            if op.kind == "join":
+                if len(op.parents) != 2:
+                    raise PlanError(
+                        f"{self.name}: join {op.op_id!r} needs two parents"
+                    )
+                if not op.param("on"):
+                    raise PlanError(
+                        f"{self.name}: join {op.op_id!r} lacks an 'on' key"
+                    )
+            if op.kind == "broadcast":
+                parent = self.op(op.parents[0])
+                if parent.kind != "materialize":
+                    raise PlanError(
+                        f"{self.name}: broadcast {op.op_id!r} must broadcast "
+                        f"a materialized result, got {parent.kind!r}"
+                    )
+            if op.kind == "materialize" and not op.blame:
+                raise PlanError(
+                    f"{self.name}: materialize {op.op_id!r} has no blame tag"
+                )
+            for used in op.uses:
+                if used not in seen:
+                    raise PlanError(
+                        f"{self.name}: {op.op_id!r} uses {used!r} before "
+                        f"it is defined"
+                    )
+                if self.op(used).kind != "broadcast":
+                    raise PlanError(
+                        f"{self.name}: {op.op_id!r} uses non-broadcast op "
+                        f"{used!r} as side input"
+                    )
+            seen.add(op.op_id)
+        for op in self.ops:
+            if op.kind in ("materialize", "broadcast"):
+                continue
+            if not self.children_of(op.op_id):
+                raise PlanError(
+                    f"{self.name}: {op.kind} {op.op_id!r} is dead (no "
+                    f"consumer and not materialized)"
+                )
+        return self

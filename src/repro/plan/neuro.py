@@ -1,0 +1,67 @@
+"""The neuroimaging pipeline (Section 4 of the paper), stated once.
+
+This is the single logical definition of the dMRI workload every engine
+lowers: scan NIfTI volumes from shared storage, filter the b=0 volumes,
+average them per subject, segment a brain mask (median Otsu), broadcast
+the masks, denoise every volume (masked non-local means), re-partition
+into Z-blocks, and fit the diffusion tensor model per block.
+
+Physical choices — Spark's reduceByKey vs. Myria's UDA, SciDB's
+chunk-streamed denoise, TF's whole-dataset broadcast — belong to the
+engine lowerings, not here.
+"""
+
+from __future__ import annotations
+
+from repro.pipelines.neuro.reference import DENOISE_SIGMA, MASK_MEDIAN_RADIUS
+from repro.pipelines.neuro.staging import DEFAULT_BUCKET
+from repro.plan.ir import (
+    LogicalPlan,
+    broadcast,
+    filter_,
+    flat_map,
+    group_by,
+    map_,
+    materialize,
+    scan,
+)
+
+DEFAULT_BLOCKS = 8
+
+
+def neuro_plan(n_blocks=DEFAULT_BLOCKS, bucket=DEFAULT_BUCKET,
+               sigma=DENOISE_SIGMA, median_radius=MASK_MEDIAN_RADIUS):
+    """Build and validate the logical neuroimaging plan."""
+    ops = (
+        scan("volumes", step="Data Ingest", format="nifti", bucket=bucket),
+        filter_("b0", "volumes", step="Segmentation", predicate="is_b0"),
+        group_by("mean_b0", "b0", step="Segmentation", key="subject",
+                 agg="mean_volume", partitions="n_nodes", combinable=True),
+        map_("otsu", "mean_b0", step="Segmentation", kernel="median_otsu",
+             median_radius=median_radius),
+        materialize("masks", "otsu", step="Segmentation",
+                    blame="mask-collect"),
+        broadcast("mask_bcast", "masks", step="Denoising"),
+        map_("denoise", "volumes", step="Denoising", uses=("mask_bcast",),
+             kernel="nlmeans_3d", sigma=sigma),
+        flat_map("repart", "denoise", step="Model Fitting",
+                 kernel="split_volume_blocks", n_blocks=n_blocks),
+        group_by("regroup", "repart", step="Model Fitting",
+                 key=("subject", "block"), agg="stack_volumes",
+                 partitions="total_slots"),
+        map_("fitmodel", "regroup", step="Model Fitting",
+             uses=("mask_bcast",), kernel="fit_dtm"),
+        materialize("fa", "fitmodel", step="Model Fitting",
+                    blame="fit-collect"),
+    )
+    plan = LogicalPlan(
+        name="neuro",
+        ops=ops,
+        params={
+            "bucket": bucket,
+            "n_blocks": n_blocks,
+            "sigma": sigma,
+            "median_radius": median_radius,
+        },
+    )
+    return plan.validate()

@@ -4,6 +4,7 @@ from repro.harness.loc import (
     PAPER_TABLE1,
     count_source_lines,
     measured_table1,
+    shared_plan_loc,
     table1_rows,
 )
 
@@ -68,3 +69,17 @@ def test_numeric_cells_positive():
     for row in rows:
         if row["measured_loc"] not in ("NA", "X"):
             assert int(row["measured_loc"]) >= 0
+
+
+def test_shared_plan_row():
+    # The plan is written once for all engines, so the paper (which
+    # rewrote each pipeline per system) has no corresponding cell.
+    for use_case in ("neuro", "astro"):
+        assert shared_plan_loc(use_case) > 0
+        cell = next(
+            r for r in table1_rows(use_case)
+            if r["step"] == "Shared Logical Plan"
+        )
+        assert int(cell["measured_loc"]) == shared_plan_loc(use_case)
+        assert cell["system"] == "(all engines)"
+        assert cell["paper_loc"] == "NA"

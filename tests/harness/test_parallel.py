@@ -61,9 +61,11 @@ def _tiny_specs(include_fault_trial=True, engines=("dask", "spark")):
 
 class TestRegistry:
     def test_all_grid_figures_registered(self):
-        for name in ("fig10c", "fig10d", "fig10g", "fig10h", "fig11",
+        for name in ("table1", "fig10a", "fig10b",
+                     "fig10c", "fig10d", "fig10g", "fig10h", "fig11",
                      "fig12a", "fig12b", "fig12c", "fig12d", "fig13",
-                     "fig14", "fig15", "s531", "s533", "f16"):
+                     "fig14", "fig15", "s531", "s533", "f16",
+                     "ablation_scidb", "ablation_tf", "ablation_tuning"):
             assert name in TRIAL_FNS
 
     def test_unknown_trial_rejected(self):

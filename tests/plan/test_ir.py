@@ -1,0 +1,145 @@
+"""Lints and structural invariants of the logical plan IR."""
+
+import pytest
+
+from repro.plan import PlanError, astro_plan, neuro_plan
+from repro.plan.ir import (
+    LogicalPlan,
+    broadcast,
+    filter_,
+    group_by,
+    join,
+    map_,
+    materialize,
+    scan,
+)
+
+
+def _plan(*ops, name="test"):
+    return LogicalPlan(name=name, ops=tuple(ops)).validate()
+
+
+def test_both_pipeline_plans_validate():
+    assert neuro_plan().op("masks").blame == "mask-collect"
+    assert astro_plan().op("sources").blame == "detect-collect"
+
+
+def test_neuro_plan_structure():
+    plan = neuro_plan(n_blocks=4)
+    assert plan.param("n_blocks") == 4
+    assert plan.op("denoise").uses == ("mask_bcast",)
+    assert plan.op("mean_b0").param("combinable") is True
+    assert plan.op("regroup").param("partitions") == "total_slots"
+    steps = {op.step for op in plan.ops}
+    assert steps == {"Data Ingest", "Segmentation", "Denoising",
+                     "Model Fitting"}
+
+
+def test_astro_plan_structure():
+    plan = astro_plan()
+    assert plan.op("coadd").param("rekey") is True
+    steps = {op.step for op in plan.ops}
+    assert steps == {"Data Ingest", "Pre-processing", "Patch Creation",
+                     "Co-addition", "Source Detection"}
+
+
+def test_materialize_requires_blame_tag():
+    with pytest.raises(PlanError, match="no blame tag"):
+        _plan(
+            scan("s", step="Ingest", format="npy"),
+            materialize("out", "s", step="Ingest", blame=None),
+        )
+
+
+def test_duplicate_op_ids_rejected():
+    with pytest.raises(PlanError, match="duplicate"):
+        _plan(
+            scan("s", step="Ingest", format="npy"),
+            materialize("s", "s", step="Ingest", blame="x"),
+        )
+
+
+def test_parent_must_precede_child():
+    with pytest.raises(PlanError, match="undefined or defined later"):
+        _plan(
+            map_("m", "s", step="Ingest"),
+            scan("s", step="Ingest", format="npy"),
+        )
+
+
+def test_scan_requires_format():
+    with pytest.raises(PlanError, match="lacks a format"):
+        _plan(
+            scan("s", step="Ingest", format=None),
+            materialize("out", "s", step="Ingest", blame="x"),
+        )
+
+
+def test_group_by_requires_key_and_agg():
+    with pytest.raises(PlanError, match="needs key and agg"):
+        _plan(
+            scan("s", step="Ingest", format="npy"),
+            group_by("g", "s", step="Agg", key="k", agg=None),
+            materialize("out", "g", step="Agg", blame="x"),
+        )
+
+
+def test_join_requires_on():
+    with pytest.raises(PlanError, match="lacks an 'on'"):
+        _plan(
+            scan("a", step="Ingest", format="npy"),
+            scan("b", step="Ingest", format="npy"),
+            join("j", "a", "b", step="Join", on=None),
+            materialize("out", "j", step="Join", blame="x"),
+        )
+
+
+def test_broadcast_requires_materialized_parent():
+    with pytest.raises(PlanError, match="must broadcast a materialized"):
+        _plan(
+            scan("s", step="Ingest", format="npy"),
+            broadcast("b", "s", step="Ingest"),
+            materialize("out", "s", step="Ingest", blame="x"),
+        )
+
+
+def test_uses_must_reference_broadcast():
+    with pytest.raises(PlanError, match="non-broadcast op"):
+        _plan(
+            scan("s", step="Ingest", format="npy"),
+            map_("m", "s", step="Map", uses=("s",)),
+            materialize("out", "m", step="Map", blame="x"),
+        )
+
+
+def test_dead_op_rejected():
+    with pytest.raises(PlanError, match="dead"):
+        _plan(
+            scan("s", step="Ingest", format="npy"),
+            filter_("f", "s", step="Filter"),
+            materialize("out", "s", step="Ingest", blame="x"),
+        )
+
+
+def test_every_op_needs_step_label():
+    with pytest.raises(PlanError, match="no step label"):
+        _plan(
+            scan("s", step=None, format="npy"),
+            materialize("out", "s", step="Ingest", blame="x"),
+        )
+
+
+def test_chain_rejects_non_linear_segments():
+    plan = neuro_plan()
+    assert [op.op_id for op in plan.chain("volumes", "otsu")] == [
+        "volumes", "b0", "mean_b0", "otsu"]
+    with pytest.raises(PlanError, match="non-linear"):
+        # "volumes" is not an ancestor of "masks" via "mask_bcast" uses.
+        plan.chain("b0", "volumes")
+
+
+def test_unknown_engine_rejected_by_dispatch():
+    from repro.plan import lower
+
+    with pytest.raises(PlanError, match="no lowering backend"):
+        lower(neuro_plan(), "flink", ctx=None)
