@@ -20,7 +20,7 @@ import pytest
 from repro.obs.ledger import compare_snapshots, format_compare, load_snapshot
 
 LEDGER_DIR = Path(__file__).parent / "ledger"
-BASELINES = ("fig10c", "fig12c", "fig11")
+BASELINES = ("fig10a", "fig10b", "fig10c", "fig12c", "fig11")
 
 pytestmark = pytest.mark.skipif(
     not os.environ.get("REPRO_LEDGER_GATE"),

@@ -283,7 +283,8 @@ class SimulatedCluster:
         """Value produced by ``task`` in a previous :meth:`run` call."""
         return self.completed[task.task_id].value
 
-    def charge_master(self, seconds, label="coordinator work", category=None):
+    def charge_master(self, seconds, label="coordinator work", category=None,
+                      op=None):
         """Advance the clock for serial coordinator-side work."""
         if seconds < 0:
             raise ValueError(f"cannot charge negative time: {seconds}")
@@ -291,7 +292,7 @@ class SimulatedCluster:
         start = self.now - seconds
         self.task_trace.append((label, self.master, start, self.now))
         self.obs.record_task(label, self.master, start, self.now,
-                             category=category)
+                             category=category, op=op)
 
     # ------------------------------------------------------------------
     # The executor
@@ -414,7 +415,7 @@ class SimulatedCluster:
                 # Record the lost partial extent so node-busy tiling
                 # (and blame, if it lands on the path) stays exact.
                 self.obs.record_task(task.name, node.name, start, time,
-                                     category=task.category)
+                                     category=task.category, op=task.op)
                 if bus:
                     bus.emit(TaskFailed(time, task.name, tid, node.name,
                                         f"node {node.name} crashed"))
@@ -657,6 +658,10 @@ class SimulatedCluster:
                         task.name, node.name, result.start_time, time,
                         task_id=task.task_id,
                         category=info.get("category_override") or task.category,
+                        # A recovery recompute loses its logical op so
+                        # the attribution fold charges it to @recovery
+                        # via the recompute category, not the op.
+                        op=None if info.get("category_override") else task.op,
                         queued=info.get("queued"),
                         ready=info.get("ready"),
                         not_before=task.not_before,
@@ -728,7 +733,7 @@ class SimulatedCluster:
         # Record the failed attempt's extent (no task_id: the eventual
         # successful attempt owns the id in the critical-path DAG).
         self.obs.record_task(task.name, node.name, start, time,
-                             category=task.category)
+                             category=task.category, op=task.op)
         bus = self.obs.events
         if bus:
             bus.emit(TaskFailed(time, task.name, tid, node.name,

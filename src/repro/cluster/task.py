@@ -50,6 +50,10 @@ class Task:
         Blame-attribution label for critical-path analysis (e.g.
         ``"spark-denoise"``, ``"scidb-convert"``).  ``None`` falls back
         to the name-prefix grouping heuristic.
+    op:
+        Provenance id of the logical plan op this task implements
+        (``"neuro/denoise"``), or ``None`` when the lowering resolves
+        provenance through spans/categories instead.
     """
 
     __slots__ = (
@@ -66,6 +70,7 @@ class Task:
         "on_oom",
         "not_before",
         "category",
+        "op",
     )
 
     _OOM_POLICIES = ("fail", "wait", "spill")
@@ -84,6 +89,7 @@ class Task:
         on_oom="fail",
         not_before=0.0,
         category=None,
+        op=None,
     ):
         if on_oom not in self._OOM_POLICIES:
             raise ValueError(
@@ -106,6 +112,7 @@ class Task:
         self.on_oom = on_oom
         self.not_before = float(not_before)
         self.category = category
+        self.op = op
 
     def dependencies(self):
         """All upstream tasks: explicit ``deps`` plus tasks in arguments."""

@@ -45,12 +45,15 @@ class CostedFunction:
 
     ``cost_fn(*args)`` returns simulated seconds for one invocation at
     nominal scale; when omitted the call is priced as free (appropriate
-    for metadata-only lambdas like key extractors).
+    for metadata-only lambdas like key extractors).  ``op`` optionally
+    names the logical plan op the function implements (a provenance id
+    like ``"neuro/denoise"``); lowerings stamp it so physical tasks
+    built from the function inherit the attribution.
     """
 
-    __slots__ = ("fn", "cost_fn", "name")
+    __slots__ = ("fn", "cost_fn", "name", "op")
 
-    def __init__(self, fn, cost_fn=None, name=None):
+    def __init__(self, fn, cost_fn=None, name=None, op=None):
         if not callable(fn):
             raise TypeError(f"fn must be callable, got {type(fn)!r}")
         if cost_fn is not None and not callable(cost_fn):
@@ -58,6 +61,7 @@ class CostedFunction:
         self.fn = fn
         self.cost_fn = cost_fn
         self.name = name or getattr(fn, "__name__", "udf")
+        self.op = op
 
     def __call__(self, *args, **kwargs):
         return self.fn(*args, **kwargs)
@@ -72,13 +76,13 @@ class CostedFunction:
         return f"CostedFunction({self.name!r})"
 
 
-def udf(fn=None, cost=None, name=None):
+def udf(fn=None, cost=None, name=None, op=None):
     """Convenience wrapper: ``udf(fn, cost=...)`` or decorator form."""
     if fn is None:
-        return lambda f: CostedFunction(f, cost_fn=cost, name=name)
+        return lambda f: CostedFunction(f, cost_fn=cost, name=name, op=op)
     if isinstance(fn, CostedFunction):
         return fn
-    return CostedFunction(fn, cost_fn=cost, name=name)
+    return CostedFunction(fn, cost_fn=cost, name=name, op=op)
 
 
 def as_costed(fn):

@@ -51,19 +51,21 @@ class DaskClient(Engine):
         """One-time engine startup in simulated seconds."""
         return self.cost_model.dask_job_startup
 
-    def delayed(self, fn, cost=None, workers=None):
+    def delayed(self, fn, cost=None, workers=None, op=None):
         """Wrap ``fn`` for graph construction (Figure 8's ``delayed``).
 
         ``workers`` pins execution to one node name -- the manual
         data-placement control the paper needed for ingest ("we
         explicitly specify the number of subjects to download per
-        node", Section 5.2.1).
+        node", Section 5.2.1).  ``op`` is the provenance id of the
+        logical op this function implements; every task built from the
+        factory carries it for per-op blame attribution.
         """
-        return DelayedFactory(self, fn, cost=cost, workers=workers)
+        return DelayedFactory(self, fn, cost=cost, workers=workers, op=op)
 
-    def map(self, fn, *iterables, cost=None, workers=None):
+    def map(self, fn, *iterables, cost=None, workers=None, op=None):
         """Futures-style fan-out: one delayed node per zipped item."""
-        factory = self.delayed(fn, cost=cost, workers=workers)
+        factory = self.delayed(fn, cost=cost, workers=workers, op=op)
         return [factory(*args) for args in zip(*iterables)]
 
     def scatter(self, values, workers=None):
@@ -308,5 +310,6 @@ class DaskClient(Engine):
             not_before=not_before,
             category=f"dask-{fn_name}"
             if fn_name and fn_name != "<lambda>" else "dask-task",
+            op=getattr(fn, "op", None),
         )
         return task

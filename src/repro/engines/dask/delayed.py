@@ -51,13 +51,20 @@ class Delayed:
 
 
 class DelayedFactory:
-    """What ``client.delayed(fn, cost=...)`` returns."""
+    """What ``client.delayed(fn, cost=...)`` returns.
+
+    ``op`` stamps the wrapped function with the provenance id of the
+    logical plan op it implements; the scheduler copies it onto every
+    task built from this factory (see ``repro.obs.attribution``).
+    """
 
     __slots__ = ("client", "fn", "workers")
 
-    def __init__(self, client, fn, cost=None, workers=None):
+    def __init__(self, client, fn, cost=None, workers=None, op=None):
         self.client = client
         self.fn = as_costed(fn) if cost is None else _with_cost(fn, cost)
+        if op is not None and self.fn.op is None:
+            self.fn.op = op
         self.workers = workers
 
     def __call__(self, *args, **kwargs):
@@ -68,5 +75,5 @@ def _with_cost(fn, cost):
     from repro.engines.base import CostedFunction
 
     if isinstance(fn, CostedFunction):
-        return CostedFunction(fn.fn, cost_fn=cost, name=fn.name)
+        return CostedFunction(fn.fn, cost_fn=cost, name=fn.name, op=fn.op)
     return CostedFunction(fn, cost_fn=cost)

@@ -21,6 +21,12 @@ from repro.pipelines import common
 from repro.pipelines.astro import reference as ref
 from repro.pipelines.astro.staging import DEFAULT_BUCKET, exposure_key
 from repro.plan.astro import astro_plan
+from repro.plan.ir import provenance_id
+
+
+def _pid(op_id):
+    """Provenance id of an astro-plan op."""
+    return provenance_id("astro", op_id)
 
 
 def run(client, visits, bucket=DEFAULT_BUCKET, grid=None):
@@ -44,11 +50,12 @@ def run(client, visits, bucket=DEFAULT_BUCKET, grid=None):
     for index, exposure in enumerate(exposures):
         workers = nodes[index % len(nodes)]
         fetch_delayed[(exposure.visit_id, exposure.sensor_id)] = client.delayed(
-            fetch, cost=fetch_cost, workers=workers
+            fetch, cost=fetch_cost, workers=workers, op=_pid("exposures")
         )(exposure.visit_id, exposure.sensor_id)
 
     preprocess = client.delayed(
-        ref.preprocess_exposure, cost=common.preprocess_cost(cm)
+        ref.preprocess_exposure, cost=common.preprocess_cost(cm),
+        op=_pid("preprocess"),
     )
     calibrated = {key: preprocess(d) for key, d in fetch_delayed.items()}
 
@@ -56,7 +63,9 @@ def run(client, visits, bucket=DEFAULT_BUCKET, grid=None):
         return dict(ref.patch_pieces(exposure, grid, pixel_scale))
 
     pieces = {
-        key: client.delayed(pieces_for, cost=common.patch_map_cost(cm))(d)
+        key: client.delayed(
+            pieces_for, cost=common.patch_map_cost(cm), op=_pid("patches")
+        )(d)
         for key, d in calibrated.items()
     }
 
@@ -77,7 +86,7 @@ def run(client, visits, bucket=DEFAULT_BUCKET, grid=None):
         return common.stitch_cost(cm)([m[patch_visit] for m in piece_maps])
 
     stitched = {
-        patch_visit: client.delayed(stitch, cost=stitch_cost)(
+        patch_visit: client.delayed(stitch, cost=stitch_cost, op=_pid("stitch"))(
             patch_visit, *[pieces[k] for k in keys]
         )
         for patch_visit, keys in contributors.items()
@@ -94,7 +103,7 @@ def run(client, visits, bucket=DEFAULT_BUCKET, grid=None):
         return common.coadd_cost(cm, ref.COADD_ITERATIONS)(list(stack))
 
     coadd_delayed = {
-        patch: client.delayed(coadd, cost=coadd_cost)(*stack)
+        patch: client.delayed(coadd, cost=coadd_cost, op=_pid("coadd"))(*stack)
         for patch, stack in by_patch.items()
     }
 
@@ -102,7 +111,10 @@ def run(client, visits, bucket=DEFAULT_BUCKET, grid=None):
         return coadd_img, ref.detect(coadd_img)
 
     result_delayed = {
-        patch: client.delayed(detect, cost=lambda c: common.detect_cost(cm)(c))(d)
+        patch: client.delayed(
+            detect, cost=lambda c: common.detect_cost(cm)(c),
+            op=_pid("sources"),
+        )(d)
         for patch, d in coadd_delayed.items()
     }
 

@@ -32,7 +32,14 @@ from repro.formats.sizing import SizedArray
 from repro.pipelines import common
 from repro.pipelines.neuro.reference import DENOISE_SIGMA, MASK_MEDIAN_RADIUS
 from repro.pipelines.neuro.staging import DEFAULT_BUCKET, volume_key
+from repro.plan.ir import provenance_id
 from repro.plan.neuro import DEFAULT_BLOCKS, neuro_plan
+
+
+def _pid(op_id):
+    """Provenance id of a neuro-plan op (Dask restructures ``group_by``
+    ops into explicit graph nodes, so ids are stamped per kernel)."""
+    return provenance_id("neuro", op_id)
 
 
 def fetch_volume(client, subject, index, bucket=DEFAULT_BUCKET, workers=None):
@@ -60,9 +67,9 @@ def fetch_volume(client, subject, index, bucket=DEFAULT_BUCKET, workers=None):
             nbytes, n_objects=1
         ) * sharing + cm.unpickle_time(nbytes)
 
-    return client.delayed(fetch, cost=fetch_cost, workers=workers)(
-        subject.subject_id, index
-    )
+    return client.delayed(
+        fetch, cost=fetch_cost, workers=workers, op=_pid("volumes")
+    )(subject.subject_id, index)
 
 
 def download_and_filter(client, subject, bucket=DEFAULT_BUCKET, workers=None):
@@ -96,7 +103,9 @@ def build_mask_graph(client, subject, vols_delayed):
         total = sum(v.nominal_elements for v in volumes)
         return total * cm.elementwise_per_element
 
-    mean = client.delayed(mean_volumes, cost=mean_cost)(*b0_vols)
+    mean = client.delayed(mean_volumes, cost=mean_cost, op=_pid("mean_b0"))(
+        *b0_vols
+    )
 
     def to_mask(mean_volume):
         _masked, mask = median_otsu(
@@ -104,7 +113,9 @@ def build_mask_graph(client, subject, vols_delayed):
         )
         return mask
 
-    return client.delayed(to_mask, cost=common.otsu_cost(cm))(mean)
+    return client.delayed(to_mask, cost=common.otsu_cost(cm), op=_pid("otsu"))(
+        mean
+    )
 
 
 def build_fit_graph(client, subject, vols_delayed, mask_delayed,
@@ -122,7 +133,9 @@ def build_fit_graph(client, subject, vols_delayed, mask_delayed,
         return volume.nominal_elements * fraction * cm.nlmeans_per_voxel
 
     denoised = [
-        client.delayed(denoise_one, cost=denoise_cost)(vol, mask_delayed)
+        client.delayed(denoise_one, cost=denoise_cost, op=_pid("denoise"))(
+            vol, mask_delayed
+        )
         for vol in vols_delayed
     ]
 
@@ -137,7 +150,9 @@ def build_fit_graph(client, subject, vols_delayed, mask_delayed,
 
     pieces = [
         [
-            client.delayed(split_block, cost=split_block_cost)(vol, block_index)
+            client.delayed(
+                split_block, cost=split_block_cost, op=_pid("repart")
+            )(vol, block_index)
             for vol in denoised
         ]
         for block_index in range(n_blocks)
@@ -158,7 +173,7 @@ def build_fit_graph(client, subject, vols_delayed, mask_delayed,
         return elements * fraction * cm.dtm_fit_per_voxel_sample
 
     fa_blocks = [
-        client.delayed(fit_block, cost=fit_block_cost)(
+        client.delayed(fit_block, cost=fit_block_cost, op=_pid("fitmodel"))(
             mask_delayed, block_index, *pieces[block_index]
         )
         for block_index in range(n_blocks)
@@ -170,7 +185,9 @@ def build_fit_graph(client, subject, vols_delayed, mask_delayed,
     def reassemble_cost(*blocks):
         return sum(b.nominal_bytes for b in blocks) * cm.memcpy_per_byte
 
-    return client.delayed(reassemble, cost=reassemble_cost)(*fa_blocks)
+    return client.delayed(reassemble, cost=reassemble_cost, op=_pid("fa"))(
+        *fa_blocks
+    )
 
 
 def run(client, subjects, n_blocks=DEFAULT_BLOCKS, bucket=DEFAULT_BUCKET):

@@ -76,8 +76,39 @@ def register_s3(conn, bucket=DEFAULT_BUCKET):
     )
 
 
+def declare_provenance(conn, plan=None):
+    """Declare the span/category -> logical-op maps for attribution.
+
+    Statement spans map to the last op they realize; the shuffles
+    feeding the ``Stitch``/``CoaddAgg`` UDAs belong to the ``stitch``
+    and ``coadd`` group_by ops themselves.
+    """
+    plan = plan or astro_plan()
+    pid = plan.provenance
+    conn.cluster.obs.declare_provenance(
+        spans={
+            "myria-insert-Exposures": pid("exposures"),
+            "myria-E": pid("exposures"),
+            "myria-InBand": pid("exposures"),
+            "myria-Calib": pid("preprocess"),
+            "myria-Pieces": pid("patches"),
+            "myria-Band": pid("patches"),
+            "myria-PatchExp": pid("stitch"),
+            "myria-Coadds": pid("coadd"),
+            "myria-Sources": pid("sources"),
+            "myria-shuffle-groupby-PatchExp": pid("stitch"),
+            "myria-shuffle-groupby-Coadds": pid("coadd"),
+        },
+        categories={
+            "myria-ingest": pid("exposures"),
+            "myria-scan": pid("exposures"),
+        },
+    )
+
+
 def register_udfs(conn, grid, pixel_scale):
     """Register udfs."""
+    declare_provenance(conn)
     cm = conn.cost_model
 
     def patch_map(exposure):

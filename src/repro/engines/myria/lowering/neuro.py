@@ -114,6 +114,40 @@ MEAN_QUERY = mean_query(neuro_plan())
 PIPELINE_QUERY = pipeline_query(neuro_plan())
 
 
+def declare_provenance(conn, plan=None):
+    """Declare the span/category -> logical-op maps for attribution.
+
+    Myria work is observed through statement and shuffle spans rather
+    than per-task stamps, so the lowering publishes how those spans map
+    back to plan ops: fused statements attribute to the *last* op in
+    the fused chain (``Masks`` = mean_b0+otsu -> otsu, ``Fitted`` =
+    regroup+fitmodel -> fitmodel) while the shuffle feeding a fused UDA
+    belongs to the ``group_by`` op itself.
+    """
+    plan = plan or neuro_plan()
+    pid = plan.provenance
+    conn.cluster.obs.declare_provenance(
+        spans={
+            "myria-insert-Images": pid("volumes"),
+            "myria-T1": pid("volumes"),
+            "myria-B0": pid("b0"),
+            "myria-Masks": pid("otsu"),
+            "myria-Means": pid("mean_b0"),
+            "myria-T2": pid("mask_bcast"),
+            "myria-Joined": pid("mask_bcast"),
+            "myria-Denoised": pid("denoise"),
+            "myria-Blocks": pid("repart"),
+            "myria-Fitted": pid("fitmodel"),
+            "myria-shuffle-groupby-Masks": pid("mean_b0"),
+            "myria-shuffle-groupby-Fitted": pid("regroup"),
+        },
+        categories={
+            "myria-ingest": pid("volumes"),
+            "myria-scan": pid("volumes"),
+        },
+    )
+
+
 def make_loader(subjects):
     """Staged volume -> Images row: (subjId, imgId, b0flag, img-blob)."""
     gtabs = gradient_tables(subjects)
@@ -210,6 +244,7 @@ def register_udfs(conn, subjects, n_blocks=DEFAULT_BLOCKS, mask_fraction=None):
         elements = blocks[0].nominal_elements * len(blocks)
         return elements * mask_fraction * cm.dtm_fit_per_voxel_sample
 
+    declare_provenance(conn)
     conn.create_function("MeanOtsu", udf(mean_otsu_uda, cost=mean_otsu_cost))
     conn.create_function("MeanVol", udf(mean_vol_uda, cost=mean_vol_cost))
     conn.create_function(

@@ -26,6 +26,12 @@ from repro.engines.scidb.array import DimSpec
 from repro.engines.scidb.ingest import aio_input
 from repro.formats.sizing import SizedArray
 from repro.pipelines.astro import reference as ref
+from repro.plan.ir import provenance_id
+
+
+def _pid(op_id):
+    """Provenance id of an astro-plan op (ambient scope per step)."""
+    return provenance_id("astro", op_id)
 
 #: The paper's best chunk size for Step 3-A.
 DEFAULT_CHUNK = 1000
@@ -71,17 +77,19 @@ def ingest(sdb, visits, chunk=DEFAULT_CHUNK, grid=None):
         DimSpec("x", width, min(chunk, width)),
     ]
     nominal_bytes = n_visits * height * width * 4
-    return aio_input(sdb, "sky", dims, stack, nominal_bytes, rank=3)
+    with sdb.cluster.obs.provenance(_pid("exposures")):
+        return aio_input(sdb, "sky", dims, stack, nominal_bytes, rank=3)
 
 
 def coadd_step(sdb, array, incremental=False):
     """Step 3-A in AQL (Figure 12d / the Section 5.2.4 ablation)."""
-    return sdb.coadd_aql(
-        array,
-        n_sigma=ref.COADD_SIGMA,
-        n_iter=ref.COADD_ITERATIONS,
-        incremental=incremental,
-    )
+    with sdb.cluster.obs.provenance(_pid("coadd")):
+        return sdb.coadd_aql(
+            array,
+            n_sigma=ref.COADD_SIGMA,
+            n_iter=ref.COADD_ITERATIONS,
+            incremental=incremental,
+        )
 
 
 def run(sdb, visits, chunk=DEFAULT_CHUNK, incremental=False, grid=None):

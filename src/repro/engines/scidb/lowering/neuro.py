@@ -25,6 +25,14 @@ from repro.engines.base import udf
 from repro.engines.scidb.array import DimSpec
 from repro.engines.scidb.ingest import aio_input, from_array
 from repro.pipelines.neuro.reference import DENOISE_SIGMA, MASK_MEDIAN_RADIUS
+from repro.plan.ir import provenance_id
+
+
+def _pid(op_id):
+    """Provenance id of a neuro-plan op.  SciDB steps run synchronously,
+    so each step body opens an ambient ``obs.provenance`` scope and every
+    task/charge it issues inherits the op."""
+    return provenance_id("neuro", op_id)
 
 #: Default per-dimension chunking for ingested subjects.  The volume
 #: axis is chunked in groups of 16, which leaves the Step 1-N selection
@@ -60,29 +68,32 @@ def ingest(sdb, subject, method="aio"):
     Figure 11) or ``"aio"`` (SciDB-2)."""
     dims = subject_dims(subject)
     name = f"sub_{subject.subject_id}"
-    if method == "from_array":
-        return from_array(
-            sdb, name, dims, subject.data.array, subject.nominal_bytes
-        )
-    if method == "aio":
-        # Dense arrays load from coordinate-free CSV (one value per
-        # cell), the compact form SciDB's aio loader accepts.
-        return aio_input(
-            sdb, name, dims, subject.data.array, subject.nominal_bytes,
-            rank=0,
-        )
+    with sdb.cluster.obs.provenance(_pid("volumes")):
+        if method == "from_array":
+            return from_array(
+                sdb, name, dims, subject.data.array, subject.nominal_bytes
+            )
+        if method == "aio":
+            # Dense arrays load from coordinate-free CSV (one value per
+            # cell), the compact form SciDB's aio loader accepts.
+            return aio_input(
+                sdb, name, dims, subject.data.array, subject.nominal_bytes,
+                rank=0,
+            )
     raise ValueError(f"unknown ingest method {method!r}")
 
 
 def filter_step(sdb, array, subject):
     """Figure 5 line 4: ``compress`` on the b0 mask along the 4th axis."""
     nominal_mask = _nominal_b0_mask(subject)
-    return sdb.compress(array, nominal_mask, axis=3)
+    with sdb.cluster.obs.provenance(_pid("b0")):
+        return sdb.compress(array, nominal_mask, axis=3)
 
 
 def mean_step(sdb, filtered):
     """Figure 5 line 5: mean along the volume axis."""
-    return sdb.mean(filtered, axis=3)
+    with sdb.cluster.obs.provenance(_pid("mean_b0")):
+        return sdb.mean(filtered, axis=3)
 
 
 def segmentation(sdb, array, subject):
@@ -101,6 +112,7 @@ def segmentation(sdb, array, subject):
         + mean.nominal_elements
         * (cm.otsu_per_voxel + 27 * cm.elementwise_per_element),
         label="SciDB mask (client-side Otsu)",
+        op=_pid("otsu"),
     )
     _masked, mask = median_otsu(mean.real, median_radius=MASK_MEDIAN_RADIUS)
     return mask
@@ -125,7 +137,8 @@ def denoise_step(sdb, array, mask):
         nominal_voxels = payload.size * cell_scale
         return nominal_voxels * fraction * cm.nlmeans_per_voxel
 
-    return sdb.stream(array, udf(denoise_chunk, cost=cost))
+    with sdb.cluster.obs.provenance(_pid("denoise")):
+        return sdb.stream(array, udf(denoise_chunk, cost=cost))
 
 
 def run(sdb, subject, ingest_method="aio"):
@@ -172,22 +185,25 @@ def ingest_cohort(sdb, subjects, method="aio"):
     real = np.stack([s.data.array for s in subjects])
     dims = cohort_dims(len(subjects))
     nominal_bytes = sum(s.nominal_bytes for s in subjects)
-    if method == "from_array":
-        return from_array(sdb, "cohort", dims, real, nominal_bytes)
-    if method == "aio":
-        return aio_input(sdb, "cohort", dims, real, nominal_bytes, rank=0)
+    with sdb.cluster.obs.provenance(_pid("volumes")):
+        if method == "from_array":
+            return from_array(sdb, "cohort", dims, real, nominal_bytes)
+        if method == "aio":
+            return aio_input(sdb, "cohort", dims, real, nominal_bytes, rank=0)
     raise ValueError(f"unknown ingest method {method!r}")
 
 
 def filter_step_cohort(sdb, array, subjects):
     """Step 1-N filter over the cohort array (volume axis is axis 4)."""
     nominal_mask = _nominal_b0_mask(subjects[0])
-    return sdb.compress(array, nominal_mask, axis=4)
+    with sdb.cluster.obs.provenance(_pid("b0")):
+        return sdb.compress(array, nominal_mask, axis=4)
 
 
 def mean_step_cohort(sdb, filtered):
     """Step 1-N mean over the cohort array's volume axis."""
-    return sdb.mean(filtered, axis=4)
+    with sdb.cluster.obs.provenance(_pid("mean_b0")):
+        return sdb.mean(filtered, axis=4)
 
 
 def denoise_step_cohort(sdb, array, masks_by_subject_index):
@@ -218,7 +234,8 @@ def denoise_step_cohort(sdb, array, masks_by_subject_index):
         nominal_voxels = payload.size * cell_scale
         return nominal_voxels * fractions[coords[0]] * cm.nlmeans_per_voxel
 
-    return sdb.stream(array, udf(denoise_chunk, cost=cost))
+    with sdb.cluster.obs.provenance(_pid("denoise")):
+        return sdb.stream(array, udf(denoise_chunk, cost=cost))
 
 
 class LoweredNeuro:

@@ -87,6 +87,7 @@ class LoweredAstro(ChainWalker):
     def scan(self, partitions=None, cache=False):
         op = self.plan.op("exposures")
         rdd = self.sc.s3_objects(op.param("bucket"), numPartitions=partitions)
+        rdd.plan_op = self.plan.provenance("exposures")
         if cache:
             rdd = rdd.cache()
         return rdd

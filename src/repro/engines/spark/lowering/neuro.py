@@ -154,6 +154,7 @@ class LoweredNeuro(ChainWalker):
         SizedArray volumes with subject/image metadata."""
         op = self.plan.op("volumes")
         rdd = self.sc.s3_objects(op.param("bucket"), numPartitions=partitions)
+        rdd.plan_op = self.plan.provenance("volumes")
         if cache:
             rdd = rdd.cache()
         return rdd
@@ -173,7 +174,8 @@ class LoweredNeuro(ChainWalker):
             np.mean([common.masked_fraction(m) for m in masks.values()])
         )
         mask_bytes = sum(m.size for m in masks.values())
-        self.masks_b = self.sc.broadcast(masks, nominal_bytes=mask_bytes)
+        with self.sc.cluster.obs.provenance(self.plan.provenance("mask_bcast")):
+            self.masks_b = self.sc.broadcast(masks, nominal_bytes=mask_bytes)
         models = self.lower_chain(img_rdd, self.plan.chain("denoise", "fa"))
         blocks = models.collect()
 

@@ -27,18 +27,36 @@ from repro.engines.base import udf
 
 
 class ChainWalker:
-    """Mixin that turns ``plan.chain(first, last)`` into an RDD chain."""
+    """Mixin that turns ``plan.chain(first, last)`` into an RDD chain.
+
+    Every costed function and RDD node the walker creates is stamped
+    with the provenance id of the logical op it implements, so stage
+    tasks, spans and blame segments fold back to plan ops (see
+    ``repro.obs.attribution``).
+    """
 
     sc = None
+    plan = None
     group_partitions = None
 
     def lower_chain(self, rdd, ops):
         for op in ops:
             rdd = getattr(self, "_lower_" + op.kind)(rdd, op)
+            rdd.plan_op = self._pid(op)
         return rdd
 
     def _factory(self, op):
         return getattr(self, "_udf_" + op.op_id)
+
+    def _pid(self, op):
+        return self.plan.provenance(op.op_id) if self.plan is not None else None
+
+    def _stamp(self, fn, op):
+        """Coerce to a costed function carrying ``op``'s provenance id."""
+        costed = udf(fn)
+        if costed.op is None:
+            costed.op = self._pid(op)
+        return costed
 
     def _partitions(self, op):
         hint = op.param("partitions")
@@ -49,28 +67,28 @@ class ChainWalker:
         return hint
 
     def _lower_filter(self, rdd, op):
-        return rdd.filter(udf(self._factory(op)()))
+        return rdd.filter(self._stamp(self._factory(op)(), op))
 
     def _lower_map(self, rdd, op):
         method, costed = self._factory(op)()
-        return getattr(rdd, method)(costed)
+        return getattr(rdd, method)(self._stamp(costed, op))
 
     def _lower_flat_map(self, rdd, op):
-        return rdd.flatMap(self._factory(op)())
+        return rdd.flatMap(self._stamp(self._factory(op)(), op))
 
     def _lower_group_by(self, rdd, op):
         n = self._partitions(op)
         if op.param("combinable"):
             to_pair, combine, finish = self._factory(op)()
             return (
-                rdd.map(udf(to_pair))
-                .reduceByKey(combine, numPartitions=n)
-                .mapValues(udf(finish))
+                rdd.map(self._stamp(to_pair, op))
+                .reduceByKey(self._stamp(combine, op), numPartitions=n)
+                .mapValues(self._stamp(finish, op))
             )
         pre, agg = self._factory(op)()
         if pre is not None:
-            rdd = rdd.map(udf(pre))
-        return rdd.groupByKey(numPartitions=n).map(agg)
+            rdd = rdd.map(self._stamp(pre, op))
+        return rdd.groupByKey(numPartitions=n).map(self._stamp(agg, op))
 
     def _lower_materialize(self, rdd, op):
         return rdd

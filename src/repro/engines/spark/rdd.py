@@ -39,6 +39,9 @@ class RDD:
         self.num_partitions = num_partitions
         self.params = dict(params or {})
         self.cached = False
+        #: Provenance id of the logical op this node implements, stamped
+        #: by the lowering walker; None for ad-hoc RDDs.
+        self.plan_op = None
 
     # ------------------------------------------------------------------
     # Narrow transformations (fused into the current stage)
@@ -126,6 +129,7 @@ class RDD:
             self.sc.cluster.cost_model.python_boundary_time(total),
             label="collect",
             category="spark-collect",
+            op=self.plan_op,
         )
         return records
 
@@ -153,6 +157,7 @@ class RDD:
                         ),
                         label="take",
                         category="spark-collect",
+                        op=self.plan_op,
                     )
                     return out
         self.sc.cluster.charge_master(
@@ -161,6 +166,7 @@ class RDD:
             ),
             label="take",
             category="spark-collect",
+            op=self.plan_op,
         )
         return out
 

@@ -76,7 +76,7 @@ class SparkScheduler:
                 shuffle_partitioner = HashPartitioner(nxt.num_partitions)
             with obs.span(
                 f"spark-stage{self.stages_run}", category="spark",
-                op=plan.base.op,
+                op=plan.base.op, plan_op=self._stage_op(plan),
             ):
                 partitions = self._run_stage(plan, partitions, shuffle_partitioner)
                 self.stages_run += 1
@@ -183,6 +183,25 @@ class SparkScheduler:
                 return f"spark-{name}"
         return default
 
+    def _stage_op(self, plan):
+        """Provenance id of a stage's tasks.
+
+        Narrow fusion means one physical task implements several logical
+        ops; the stage is attributed to the *last* stamped op in the
+        fused chain, falling back to the base RDD's own stamp (wide ops,
+        sources) so every Spark task carries a provenance id whenever
+        the lineage came from a lowering.
+        """
+        for op in reversed(plan.narrow_ops):
+            pid = getattr(op.fn, "op", None)
+            if pid is not None:
+                return pid
+        if plan.base.fn is not None:
+            pid = getattr(plan.base.fn, "op", None)
+            if pid is not None:
+                return pid
+        return getattr(plan.base, "plan_op", None)
+
     def _apply_narrow(self, records, narrow_ops):
         """Run the fused narrow chain over a record list.
 
@@ -237,6 +256,7 @@ class SparkScheduler:
         slices = [data[i::n] for i in range(n)]
         cm = self.sc.cluster.cost_model
         category = self._stage_category(plan, "spark-parallelize")
+        stage_op = self._stage_op(plan)
         tasks = []
         for index, part_records in enumerate(slices):
             in_bytes = nominal_bytes_of(part_records)
@@ -268,6 +288,7 @@ class SparkScheduler:
                     memory_bytes=in_bytes,
                     on_oom="spill",
                     category=category,
+                    op=stage_op,
                 )
             )
         return tasks
@@ -282,9 +303,11 @@ class SparkScheduler:
         # The Spark S3 API enumerates objects on the master before
         # scheduling the parallel download (Section 5.2.1).
         cm = self.sc.cluster.cost_model
+        stage_op = self._stage_op(plan)
         self.sc.cluster.charge_master(
             cm.s3_list_time(len(keys)), label="s3 listing",
             category="spark-s3-ingest",
+            op=getattr(base, "plan_op", None),
         )
         groups = [keys[i::n] for i in range(n)]
         tasks = []
@@ -324,6 +347,7 @@ class SparkScheduler:
                     memory_bytes=group_bytes,
                     on_oom="spill",
                     category="spark-s3-ingest",
+                    op=stage_op,
                 )
             )
         return tasks
@@ -332,6 +356,7 @@ class SparkScheduler:
         """Stage over already-materialized partitions (cache reads)."""
         cm = self.sc.cluster.cost_model
         category = self._stage_category(plan, "spark-cache-read")
+        stage_op = self._stage_op(plan)
         tasks = []
         for index, partition in enumerate(inputs):
             cell = {}
@@ -367,6 +392,7 @@ class SparkScheduler:
                     memory_bytes=partition.nominal_bytes,
                     on_oom="spill",
                     category=category,
+                    op=stage_op,
                 )
             )
         return tasks
@@ -378,6 +404,8 @@ class SparkScheduler:
         n_reducers = base.num_partitions
         n_nodes = self.sc.cluster.spec.n_nodes
         remote_fraction = (n_nodes - 1) / n_nodes if n_nodes > 1 else 0.0
+
+        stage_op = self._stage_op(plan)
 
         if base.op == "repartition":
             # Upstream produced plain record lists; round-robin them.
@@ -461,6 +489,7 @@ class SparkScheduler:
                     memory_bytes=in_estimate,
                     on_oom="spill",
                     category="spark-shuffle",
+                    op=stage_op,
                 )
             )
         return tasks
@@ -490,6 +519,7 @@ class SparkScheduler:
                     cm.disk_write_time(partition.nominal_bytes),
                     label="cache spill",
                     category="spark-cache",
+                    op=getattr(rdd, "plan_op", None),
                 )
                 stored.append(
                     Partition(

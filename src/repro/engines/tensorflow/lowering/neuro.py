@@ -32,6 +32,14 @@ import numpy as np
 from repro.algorithms.otsu import otsu_threshold
 from repro.engines.tensorflow import Graph
 from repro.formats.sizing import SizedArray
+from repro.plan.ir import provenance_id
+
+
+def _pid(op_id):
+    """Provenance id of a neuro-plan op.  TF steps execute synchronously
+    under ``session.run``, so each step opens an ambient
+    ``obs.provenance`` scope and its tasks inherit the op."""
+    return provenance_id("neuro", op_id)
 
 
 def make_steps(cluster, n_items):
@@ -62,7 +70,8 @@ def filter_step(session, subject):
         gathered = graph.gather(transposed, real_indices, nominal_indices)
         # Back to (x, y, z, vol) layout.
         back = graph.transpose(gathered, (1, 2, 3, 0))
-    out = session.run(graph, [back], feed_dict={ph: data})[0]
+    with session.cluster.obs.provenance(_pid("b0")):
+        out = session.run(graph, [back], feed_dict={ph: data})[0]
     return SizedArray(out.array, nominal_shape=out.nominal_shape, meta=data.meta)
 
 
@@ -95,7 +104,8 @@ def mean_step(session, filtered):
             ph: SizedArray(parts[index], nominal_shape=part_nominal[index])
             for index, ph in placeholders
         }
-        outs = session.run(graph, works, feed_dict=feed)
+        with cluster.obs.provenance(_pid("mean_b0")):
+            outs = session.run(graph, works, feed_dict=feed)
         for (index, _ph), out in zip(step, outs):
             partial[index] = out.array
     mean = np.concatenate(partial, axis=0)
@@ -133,7 +143,8 @@ def denoise_step(session, subject):
                     nominal_shape=vol_nominal,
                 )
                 works.append(graph.conv3d(ph, kernel))
-        results = session.run(graph, works, feed_dict=feeds)
+        with cluster.obs.provenance(_pid("denoise")):
+            results = session.run(graph, works, feed_dict=feeds)
         for (index, _device), tensor in zip(step, results):
             out[..., index] = tensor.array
     return SizedArray(out, nominal_shape=data.nominal_shape, meta=data.meta)

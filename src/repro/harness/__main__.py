@@ -322,6 +322,9 @@ def _trace_main(argv):
     parser.add_argument("--critical-path", action="store_true",
                         help="print the critical-path blame report and"
                         " highlight the path with flow arrows in the trace")
+    parser.add_argument("--by-op", action="store_true",
+                        help="fold critical-path blame up to logical plan"
+                        " ops and print the per-op attribution table")
     parser.add_argument("--json", action="store_true",
                         help="emit the run snapshot (the ledger serializer)"
                         " as JSON on stdout; human output moves to stderr")
@@ -367,7 +370,7 @@ def _trace_main(argv):
         )
     cluster, metrics = captured[-1]
     path = compute_critical_path(cluster) if (
-        args.critical_path or args.json
+        args.critical_path or args.by_op or args.json
     ) else None
     print_breakdown(
         cluster, metrics=metrics,
@@ -375,6 +378,14 @@ def _trace_main(argv):
     )
     if args.critical_path:
         print("\n" + format_critical_path(path), file=human_out)
+    if args.by_op:
+        from repro.obs.attribution import (
+            attribute_critical_path,
+            format_attribution,
+        )
+
+        rows = attribute_critical_path(cluster, path=path)
+        print("\n" + format_attribution(rows), file=human_out)
     out_path = args.out or f"{args.experiment}-trace.json"
     write_chrome_trace(cluster, out_path, metrics=metrics,
                        critical_path=path if args.critical_path else None)
@@ -489,9 +500,16 @@ def _ledger_main(argv):
 
 
 def _compare_main(argv):
-    """``python -m repro.harness compare`` entry point."""
+    """``python -m repro.harness compare`` entry point.
+
+    Exit codes: 0 comparable and no regression, 1 regression past the
+    tolerance, 2 the two documents cannot be compared at all (mismatched
+    schema versions, or one is a ledger snapshot and the other a bench
+    report) -- with a diagnostic instead of a traceback.
+    """
     from repro.obs.ledger import (
         DEFAULT_TOLERANCE,
+        LedgerSchemaError,
         compare_snapshots,
         format_compare,
         load_snapshot,
@@ -518,13 +536,33 @@ def _compare_main(argv):
             raw_candidate = json.load(fh)
     except (OSError, ValueError) as exc:
         parser.error(str(exc))
-    if ("bench_schema_version" in raw_baseline
-            and "bench_schema_version" in raw_candidate):
-        return _compare_bench(raw_baseline, raw_candidate, as_json=args.json)
+    is_bench = [
+        "bench_schema_version" in raw_baseline,
+        "bench_schema_version" in raw_candidate,
+    ]
+    if any(is_bench) and not all(is_bench):
+        bench_path = args.baseline if is_bench[0] else args.candidate
+        ledger_path = args.candidate if is_bench[0] else args.baseline
+        print(
+            f"cannot compare: {bench_path} is a harness bench report"
+            f" while {ledger_path} is a ledger snapshot;"
+            " compare bench against bench (harness bench) or ledger"
+            " against ledger (harness ledger)",
+            file=sys.stderr,
+        )
+        return 2
+    if all(is_bench):
+        return _compare_bench(
+            raw_baseline, raw_candidate,
+            paths=(args.baseline, args.candidate), as_json=args.json,
+        )
 
     try:
         baseline = load_snapshot(args.baseline)
         candidate = load_snapshot(args.candidate)
+    except LedgerSchemaError as exc:
+        print(exc.diagnostic(), file=sys.stderr)
+        return 2
     except (OSError, ValueError) as exc:
         parser.error(str(exc))
     report = compare_snapshots(baseline, candidate, tolerance=args.tolerance)
@@ -535,9 +573,49 @@ def _compare_main(argv):
     return 1 if report["makespan"]["regression"] else 0
 
 
-def _compare_bench(baseline, candidate, as_json=False):
+def _warm_hits(figure_row):
+    """Warm-run cache hits from a v1 (``cache_hits``) or v2
+    (``warm_cache``) bench figure row."""
+    warm = figure_row.get("warm_cache")
+    if warm is not None:
+        return warm.get("hits")
+    return figure_row.get("cache_hits")
+
+
+def _compare_bench(baseline, candidate, paths=("baseline", "candidate"),
+                   as_json=False):
     """Diff two ``BENCH_harness.json`` files (report-only: wall-clock
-    depends on the machine, so bench deltas never fail the build)."""
+    depends on the machine, so bench deltas never fail the build).
+
+    Mismatched layouts -- different ``bench_schema_version``, or phase
+    decompositions present on only one side -- exit 2 with a diagnostic
+    rather than comparing apples to oranges.
+    """
+    b_version = baseline.get("bench_schema_version")
+    c_version = candidate.get("bench_schema_version")
+    if b_version != c_version:
+        print(
+            f"cannot compare: {paths[0]} has bench_schema_version"
+            f" {b_version!r} but {paths[1]} has {c_version!r};"
+            " regenerate both with the same build"
+            " (PYTHONPATH=src python -m repro.harness bench)",
+            file=sys.stderr,
+        )
+        return 2
+    has_phases = [
+        any("phases" in row for row in doc.get("figures", {}).values())
+        for doc in (baseline, candidate)
+    ]
+    if any(has_phases) and not all(has_phases):
+        with_p = paths[0] if has_phases[0] else paths[1]
+        without_p = paths[1] if has_phases[0] else paths[0]
+        print(
+            f"cannot compare: {with_p} carries a --phases wall-clock"
+            f" decomposition but {without_p} does not;"
+            " rerun both with (or both without) --phases",
+            file=sys.stderr,
+        )
+        return 2
     figures = sorted(
         set(baseline.get("figures", {})) | set(candidate.get("figures", {}))
     )
@@ -552,8 +630,8 @@ def _compare_bench(baseline, candidate, as_json=False):
             row[f"candidate_{key}"] = c_v
             if b_v and c_v:
                 row[f"{key}_ratio"] = round(c_v / b_v, 3)
-        row["baseline_cache_hits"] = b.get("cache_hits")
-        row["candidate_cache_hits"] = c.get("cache_hits")
+        row["baseline_cache_hits"] = _warm_hits(b)
+        row["candidate_cache_hits"] = _warm_hits(c)
         rows.append(row)
     report = {
         "bench_compare": True,
@@ -584,8 +662,39 @@ def _compare_bench(baseline, candidate, as_json=False):
 #: grids the CI parallel job replays plus the per-step figure.
 BENCH_FIGURES = ("fig10c", "fig11", "fig12c")
 
-#: ``BENCH_harness.json`` layout version.
-BENCH_SCHEMA_VERSION = 1
+#: ``BENCH_harness.json`` layout version.  v2 splits the conflated v1
+#: ``cache_hits``/``cache_misses`` pair into per-phase ``cold_cache``/
+#: ``warm_cache`` counters and adds the optional ``--phases`` wall-clock
+#: decomposition.
+BENCH_SCHEMA_VERSION = 2
+
+
+def _timed_run(run, quick, label, phases=False, log_path=None):
+    """Time one figure run; optionally record its phase decomposition.
+
+    With ``phases`` the run executes under an active telemetry recorder
+    whose top-level ``other`` phase wraps the whole figure, so the
+    executor's phases (cache-lookup, pool-startup, dispatch,
+    cache-store, result-merge) plus the ``other`` residue tile the
+    measured wall time by construction.
+    """
+    import time
+
+    if not phases:
+        start = time.perf_counter()
+        run(quick)
+        return time.perf_counter() - start, None
+    from repro.obs import telemetry
+
+    with telemetry.recording(log_path=log_path) as rec:
+        rec.event("bench-run", label=label)
+        start = time.perf_counter()
+        with rec.phase("other", run=label):
+            run(quick)
+        wall = time.perf_counter() - start
+        report = telemetry.phase_report(rec.phase_totals(), wall)
+        report["metrics"] = rec.metrics.snapshot()
+    return wall, report
 
 
 def _bench_main(argv):
@@ -593,15 +702,16 @@ def _bench_main(argv):
 
     For each figure: one serial uncached run, one parallel cold-cache
     run, one parallel warm-cache run.  Writes wall-clock seconds and
-    cache hit counts to ``BENCH_harness.json`` -- the harness's own
-    perf trajectory, the way ``benchmarks/ledger/`` tracks the
-    simulated clusters'.
+    per-phase cache counters to ``BENCH_harness.json`` -- the harness's
+    own perf trajectory, the way ``benchmarks/ledger/`` tracks the
+    simulated clusters'.  ``--phases`` additionally decomposes each
+    run's wall clock into executor phases and appends the structured
+    telemetry log.
     """
     import contextlib
     import os
     import shutil
     import tempfile
-    import time
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness bench",
@@ -618,6 +728,13 @@ def _bench_main(argv):
                         " (default: --quick profiles)")
     parser.add_argument("--out", default="BENCH_harness.json",
                         help="output path (default BENCH_harness.json)")
+    parser.add_argument("--phases", action="store_true",
+                        help="record the wall-clock phase decomposition"
+                        " of every run (cache-lookup, pool-startup,"
+                        " dispatch, cache-store, result-merge, other)")
+    parser.add_argument("--telemetry-log", default="BENCH_telemetry.jsonl",
+                        help="JSON-lines telemetry log written under"
+                        " --phases (default BENCH_telemetry.jsonl)")
     args = parser.parse_args(argv)
 
     names = args.figures or list(BENCH_FIGURES)
@@ -627,6 +744,11 @@ def _bench_main(argv):
                 f"unknown experiment {name!r}; use --list to see choices"
             )
     quick = not args.full
+    log_path = args.telemetry_log if args.phases else None
+    if log_path:
+        # The recorder appends (one recording per run); start clean.
+        with open(log_path, "w"):
+            pass
     results = {}
     with open(os.devnull, "w") as devnull:
         for name in names:
@@ -634,22 +756,25 @@ def _bench_main(argv):
             cache_dir = tempfile.mkdtemp(prefix="repro-bench-cache-")
             try:
                 with contextlib.redirect_stdout(devnull):
-                    start = time.perf_counter()
                     with configured(jobs=1, cache=None):
-                        run(quick)
-                    serial_s = time.perf_counter() - start
+                        serial_s, serial_phases = _timed_run(
+                            run, quick, f"{name}/serial",
+                            phases=args.phases, log_path=log_path,
+                        )
 
                     cold = TrialCache(cache_dir)
-                    start = time.perf_counter()
                     with configured(jobs=args.jobs, cache=cold):
-                        run(quick)
-                    parallel_s = time.perf_counter() - start
+                        parallel_s, parallel_phases = _timed_run(
+                            run, quick, f"{name}/parallel",
+                            phases=args.phases, log_path=log_path,
+                        )
 
                     warm = TrialCache(cache_dir)
-                    start = time.perf_counter()
                     with configured(jobs=args.jobs, cache=warm):
-                        run(quick)
-                    warm_s = time.perf_counter() - start
+                        warm_s, warm_phases = _timed_run(
+                            run, quick, f"{name}/warm",
+                            phases=args.phases, log_path=log_path,
+                        )
             finally:
                 shutil.rmtree(cache_dir, ignore_errors=True)
             results[name] = {
@@ -657,19 +782,36 @@ def _bench_main(argv):
                 "parallel_s": round(parallel_s, 3),
                 "warm_s": round(warm_s, 3),
                 "jobs": args.jobs,
-                "cache_hits": warm.hits,
-                "cache_misses": warm.misses,
+                "cold_cache": cold.stats(),
+                "warm_cache": warm.stats(),
                 "speedup": round(serial_s / parallel_s, 2)
                 if parallel_s else None,
                 "warm_over_cold": round(warm_s / parallel_s, 3)
                 if parallel_s else None,
             }
+            if args.phases:
+                results[name]["phases"] = {
+                    "serial": serial_phases,
+                    "parallel": parallel_phases,
+                    "warm": warm_phases,
+                }
             row = results[name]
             print(f"{name}: serial {row['serial_s']:.2f}s,"
                   f" parallel(x{args.jobs}) {row['parallel_s']:.2f}s"
                   f" (speedup {row['speedup']}),"
                   f" warm cache {row['warm_s']:.2f}s"
-                  f" ({row['cache_hits']} hit(s))")
+                  f" ({row['warm_cache']['hits']} hit(s))")
+            if args.phases:
+                decomposition = parallel_phases["phases"]
+                parts = ", ".join(
+                    f"{phase} {data['self_s']:.2f}s"
+                    for phase, data in sorted(
+                        decomposition.items(),
+                        key=lambda item: -item[1]["self_s"],
+                    )
+                )
+                print(f"  parallel phases ({parallel_phases['coverage']:.0%}"
+                      f" of wall): {parts}")
     document = {
         "bench_schema_version": BENCH_SCHEMA_VERSION,
         "quick": quick,
@@ -680,6 +822,8 @@ def _bench_main(argv):
         json.dump(document, fh, indent=1, sort_keys=True)
         fh.write("\n")
     print(f"wrote {args.out}")
+    if log_path:
+        print(f"wrote telemetry log to {log_path}")
     return 0
 
 

@@ -24,8 +24,10 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 
 from repro.cluster.costs import CostModel
+from repro.obs import telemetry
 
 #: Bump when the cached payload layout changes incompatibly.
 CACHE_SCHEMA_VERSION = 1
@@ -160,17 +162,25 @@ class TrialCache:
 
     def get(self, key):
         """Cached payload for ``key``, or ``None`` on a miss."""
+        rec = telemetry.recorder()
+        start = time.perf_counter()
         try:
             with open(self._path(key)) as fh:
                 payload = json.load(fh)
         except (OSError, ValueError):
             self.misses += 1
+            rec.count("cache.misses")
+            rec.observe("cache.get_s", time.perf_counter() - start)
             return None
         self.hits += 1
+        rec.count("cache.hits")
+        rec.observe("cache.get_s", time.perf_counter() - start)
         return payload
 
     def put(self, key, payload):
         """Store ``payload`` atomically (rename over a temp file)."""
+        rec = telemetry.recorder()
+        start = time.perf_counter()
         path = self._path(key)
         os.makedirs(os.path.dirname(path), exist_ok=True)
         fd, tmp = tempfile.mkstemp(
@@ -178,7 +188,8 @@ class TrialCache:
         )
         try:
             with os.fdopen(fd, "w") as fh:
-                json.dump(payload, fh)
+                encoded = json.dumps(payload)
+                fh.write(encoded)
             os.replace(tmp, path)
         except BaseException:
             try:
@@ -186,6 +197,9 @@ class TrialCache:
             except OSError:
                 pass
             raise
+        rec.count("cache.stores")
+        rec.observe("cache.payload_bytes", len(encoded))
+        rec.observe("cache.put_s", time.perf_counter() - start)
 
     def stats(self):
         """``{"hits", "misses"}`` counters for this cache handle."""

@@ -19,12 +19,15 @@ cannot defer the decision), so plain smoke runs pay nothing extra.
 """
 
 import multiprocessing
+import os
+import time
 from contextlib import contextmanager
 from dataclasses import asdict
 
 from repro.cluster.costs import CostModel
 from repro.harness import runner
 from repro.harness.cache import cache_key
+from repro.obs import telemetry
 
 #: Registered trial functions: name -> callable returning one row dict.
 TRIAL_FNS = {}
@@ -149,19 +152,34 @@ def _snapshot_cluster(cluster):
     return run_snapshot(cluster, label=top_group)
 
 
-def _execute_trial(fn_name, kwargs, cost_constants, want_snapshots):
-    """Run one trial in the current process; returns its payload."""
+def _execute_trial(fn_name, kwargs, cost_constants, want_snapshots,
+                   timings=None):
+    """Run one trial in the current process; returns its payload.
+
+    ``timings``, when given, receives wall-clock seconds for the trial
+    body (``worker-exec``) and the snapshot extraction
+    (``snapshot-serialize``) -- the worker-side half of the harness
+    self-telemetry.  Timing never touches the payload itself.
+    """
     fn = TRIAL_FNS[fn_name]
     clusters = []
+    start = time.perf_counter()
     with runner.observe_clusters(clusters.append):
         if cost_constants is None:
             row = fn(**kwargs)
         else:
             with runner.cost_model_override(CostModel(**cost_constants)):
                 row = fn(**kwargs)
+    exec_s = time.perf_counter() - start
     payload = {"row": row}
+    snapshot_s = 0.0
     if want_snapshots:
+        start = time.perf_counter()
         payload["snapshots"] = [_snapshot_cluster(c) for c in clusters]
+        snapshot_s = time.perf_counter() - start
+    if timings is not None:
+        timings["worker-exec"] = exec_s
+        timings["snapshot-serialize"] = snapshot_s
     return payload
 
 
@@ -174,12 +192,38 @@ def _worker_init():
 
 
 def _pool_entry(args):
+    """Worker-side entry: returns ``{"payload", "telemetry"}``.
+
+    The telemetry sidecar is stripped by the parent before payloads are
+    cached or merged, preserving the serial/pooled/cache byte-identity
+    invariant.  Setting ``REPRO_PROFILE_DIR`` additionally dumps a
+    cProfile of each trial into that directory.
+    """
     fn_name, kwargs, cost_constants = args
     # Under the spawn start method the registry is empty until the
     # experiment definitions are imported.
     if fn_name not in TRIAL_FNS:
         import repro.harness.experiments  # noqa: F401
-    return _execute_trial(fn_name, kwargs, cost_constants, True)
+    timings = {}
+    profile_dir = telemetry.profile_dir()
+    profiler = None
+    if profile_dir:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+    try:
+        payload = _execute_trial(fn_name, kwargs, cost_constants, True,
+                                 timings=timings)
+    finally:
+        if profiler is not None:
+            profiler.disable()
+            os.makedirs(profile_dir, exist_ok=True)
+            profiler.dump_stats(os.path.join(
+                profile_dir, f"trial-{fn_name}-pid{os.getpid()}"
+                f"-{time.monotonic_ns()}.prof"
+            ))
+    return {"payload": payload, "telemetry": timings}
 
 
 def _pool_context():
@@ -205,18 +249,20 @@ def run_grid(specs, jobs=None, cache=_UNSET, cost_model=None):
         cache = _config["cache"]
     want_snapshots = bool(_snapshot_sinks) or cache is not None
 
+    rec = telemetry.recorder()
     cost_constants = None if cost_model is None else asdict(cost_model)
     payloads = [None] * len(specs)
     keys = [None] * len(specs)
     pending = []
-    for index, spec in enumerate(specs):
-        if cache is not None:
-            keys[index] = spec.key(cost_model=cost_model)
-            hit = cache.get(keys[index])
-            if hit is not None:
-                payloads[index] = hit
-                continue
-        pending.append(index)
+    with telemetry.telemetry_phase("cache-lookup", trials=len(specs)):
+        for index, spec in enumerate(specs):
+            if cache is not None:
+                keys[index] = spec.key(cost_model=cost_model)
+                hit = cache.get(keys[index])
+                if hit is not None:
+                    payloads[index] = hit
+                    continue
+            pending.append(index)
 
     if pending:
         if jobs > 1 and len(pending) > 1:
@@ -225,28 +271,53 @@ def run_grid(specs, jobs=None, cache=_UNSET, cost_model=None):
                 (specs[i].fn, specs[i].kwargs, cost_constants)
                 for i in pending
             ]
-            with ctx.Pool(
-                processes=min(jobs, len(pending)),
-                initializer=_worker_init,
-            ) as pool:
-                results = pool.map(_pool_entry, work)
-            for i, payload in zip(pending, results):
-                payloads[i] = payload
+            n_procs = min(jobs, len(pending))
+            with telemetry.telemetry_phase("pool-startup", processes=n_procs):
+                pool = ctx.Pool(processes=n_procs, initializer=_worker_init)
+            try:
+                start = time.perf_counter()
+                with telemetry.telemetry_phase("dispatch", trials=len(work)):
+                    results = pool.map(_pool_entry, work)
+                map_wall = time.perf_counter() - start
+            finally:
+                pool.terminate()
+                pool.join()
+            busy = 0.0
+            for i, wrapped in zip(pending, results):
+                payloads[i] = wrapped["payload"]
+                worker = wrapped.get("telemetry") or {}
+                busy += sum(worker.values())
+                for name, seconds in sorted(worker.items()):
+                    rec.observe(f"worker.{name}_s", seconds)
+            utilization = busy / max(n_procs * map_wall, 1e-9)
+            rec.gauge("pool.utilization", utilization)
+            rec.event(
+                "pool", processes=n_procs, busy_s=round(busy, 6),
+                map_wall_s=round(map_wall, 6),
+                utilization=round(utilization, 6),
+            )
         else:
-            for i in pending:
-                payloads[i] = _execute_trial(
-                    specs[i].fn, specs[i].kwargs, cost_constants,
-                    want_snapshots,
-                )
+            timings = {} if rec.active else None
+            with telemetry.telemetry_phase("dispatch", trials=len(pending)):
+                for i in pending:
+                    payloads[i] = _execute_trial(
+                        specs[i].fn, specs[i].kwargs, cost_constants,
+                        want_snapshots, timings=timings,
+                    )
+                    if timings is not None:
+                        for name, seconds in sorted(timings.items()):
+                            rec.observe(f"worker.{name}_s", seconds)
         if cache is not None:
-            for i in pending:
-                cache.put(keys[i], payloads[i])
+            with telemetry.telemetry_phase("cache-store", trials=len(pending)):
+                for i in pending:
+                    cache.put(keys[i], payloads[i])
 
-    if _snapshot_sinks:
-        for payload in payloads:
-            for snapshot in payload.get("snapshots", ()):
-                for sink in _snapshot_sinks:
-                    sink.snapshots.append(snapshot)
+    with telemetry.telemetry_phase("result-merge", trials=len(specs)):
+        if _snapshot_sinks:
+            for payload in payloads:
+                for snapshot in payload.get("snapshots", ()):
+                    for sink in _snapshot_sinks:
+                        sink.snapshots.append(snapshot)
     return payloads
 
 

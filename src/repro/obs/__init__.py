@@ -18,6 +18,10 @@ any simulated run:
   (chrome://tracing / Perfetto).
 - :mod:`repro.obs.critical_path` -- critical-path reconstruction and
   per-resource blame attribution over the recorded task DAG.
+- :mod:`repro.obs.attribution` -- folds critical-path blame up to the
+  logical ops of ``repro.plan`` for cross-engine per-op comparison.
+- :mod:`repro.obs.telemetry` -- wall-clock self-telemetry for the
+  harness process itself (phases, structured JSON logs, metrics).
 - :mod:`repro.obs.ledger` -- versioned JSON run snapshots under
   ``benchmarks/ledger/`` and regression diffing between them
   (``python -m repro.harness compare``).
@@ -26,6 +30,15 @@ See the "Observability" section of DESIGN.md and
 ``python -m repro.harness trace`` for the end-to-end workflow.
 """
 
+from repro.obs.attribution import (
+    attribute_critical_path,
+    format_attribution,
+    format_op_table,
+    is_recovery_category,
+    op_table,
+    op_totals,
+    resolve_segment_op,
+)
 from repro.obs.breakdown import (
     default_grouper,
     format_breakdown,
@@ -74,6 +87,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
 )
 from repro.obs.ledger import (
+    LedgerSchemaError,
     compare_snapshots,
     experiment_snapshot,
     format_compare,
@@ -82,6 +96,13 @@ from repro.obs.ledger import (
     write_snapshot,
 )
 from repro.obs.spans import Observability, Span, SpanStore, TaskRecord
+from repro.obs.telemetry import (
+    NULL_RECORDER,
+    PhaseRecorder,
+    recorder,
+    recording,
+    telemetry_phase,
+)
 
 __all__ = [
     "BroadcastSent",
@@ -92,6 +113,9 @@ __all__ = [
     "EventBus",
     "Gauge",
     "Histogram",
+    "LedgerSchemaError",
+    "NULL_RECORDER",
+    "PhaseRecorder",
     "MemoryAllocated",
     "MemoryFreed",
     "MemoryOOM",
@@ -117,21 +141,31 @@ __all__ = [
     "TaskRecord",
     "TaskRetried",
     "TaskStarted",
+    "attribute_critical_path",
     "blame_category",
     "chrome_trace",
     "compare_snapshots",
     "compute_critical_path",
     "default_grouper",
     "experiment_snapshot",
+    "format_attribution",
     "format_breakdown",
     "format_compare",
     "format_critical_path",
+    "format_op_table",
     "group_of",
+    "is_recovery_category",
     "load_snapshot",
     "node_utilization_rows",
+    "op_table",
+    "op_totals",
+    "recorder",
+    "recording",
     "records_of",
+    "resolve_segment_op",
     "run_snapshot",
     "summarize_records",
+    "telemetry_phase",
     "write_chrome_trace",
     "write_snapshot",
 ]

@@ -18,14 +18,45 @@ import json
 import subprocess
 from collections import defaultdict
 
+from repro.obs.attribution import attribute_critical_path
 from repro.obs.breakdown import records_of, summarize_records
 from repro.obs.critical_path import compute_critical_path
 
 #: Bump when snapshot layout changes incompatibly.
-LEDGER_SCHEMA_VERSION = 1
+#: v2 (this build) adds the ``op_blame`` section: critical-path blame
+#: folded up to logical plan ops (see ``repro.obs.attribution``).
+LEDGER_SCHEMA_VERSION = 2
 
 #: Default relative tolerance for makespan/blame regression flags.
 DEFAULT_TOLERANCE = 0.05
+
+
+class LedgerSchemaError(ValueError):
+    """A snapshot's schema version does not match this build."""
+
+    def __init__(self, path, found):
+        self.path = path
+        self.found = found
+        super().__init__(
+            f"ledger snapshot {path} has schema_version {found!r};"
+            f" this build reads version {LEDGER_SCHEMA_VERSION}"
+        )
+
+    def diagnostic(self):
+        """Human-readable explanation of the schema gap."""
+        lines = [str(self)]
+        if self.found == 1 and LEDGER_SCHEMA_VERSION == 2:
+            lines.append(
+                "schema v2 adds the per-logical-op 'op_blame' section"
+                " (critical-path blame folded up to repro.plan ops);"
+                " v1 snapshots lack it and cannot be compared op-for-op."
+            )
+        lines.append(
+            "regenerate the snapshot with:"
+            " PYTHONPATH=src python -m repro.harness ledger <experiment>"
+            " --quick --out-dir benchmarks/ledger"
+        )
+        return "\n".join(lines)
 
 
 def _round(value, digits=6):
@@ -51,6 +82,7 @@ def run_snapshot(cluster, label=None, critical_path=None, top_groups=12):
     ``harness trace --json``.
     """
     path = critical_path or compute_critical_path(cluster)
+    op_blame = attribute_critical_path(cluster, path=path)
     records = records_of(cluster)
     groups = summarize_records(records)
     spilled = sum(n.memory.spilled_bytes for n in cluster.nodes.values())
@@ -77,6 +109,15 @@ def run_snapshot(cluster, label=None, critical_path=None, top_groups=12):
                 for row in path.blame()
             ],
         },
+        "op_blame": [
+            {
+                "op": row["op"],
+                "kind": row["kind"],
+                "seconds": _round(row["seconds"]),
+                "fraction": _round(row["fraction"]),
+            }
+            for row in op_blame
+        ],
         "bytes": {
             "node_to_node": cluster.network.bytes_node_to_node,
             "broadcast": cluster.network.bytes_broadcast,
@@ -110,6 +151,15 @@ def experiment_snapshot(experiment, runs, quick=False, scale=None):
         for (category, kind), seconds in blame.items()
     ]
     blame_rows.sort(key=lambda r: (-r["seconds"], r["category"], r["kind"]))
+    op_blame = defaultdict(float)
+    for run in runs:
+        for row in run.get("op_blame", []):
+            op_blame[(row["op"], row["kind"])] += row["seconds"]
+    op_rows = [
+        {"op": op, "kind": kind, "seconds": _round(seconds)}
+        for (op, kind), seconds in op_blame.items()
+    ]
+    op_rows.sort(key=lambda r: (-r["seconds"], r["op"], r["kind"]))
     return {
         "schema_version": LEDGER_SCHEMA_VERSION,
         "experiment": experiment,
@@ -118,6 +168,7 @@ def experiment_snapshot(experiment, runs, quick=False, scale=None):
         "scale": scale,
         "total_makespan_s": _round(sum(r["makespan_s"] for r in runs)),
         "blame": blame_rows,
+        "op_blame": op_rows,
         "bytes": {
             key: sum(r["bytes"][key] for r in runs)
             for key in ("node_to_node", "broadcast", "s3", "spilled")
@@ -146,10 +197,7 @@ def load_snapshot(path):
         snapshot = json.load(fh)
     version = snapshot.get("schema_version")
     if version != LEDGER_SCHEMA_VERSION:
-        raise ValueError(
-            f"ledger snapshot {path} has schema_version {version!r};"
-            f" this build reads version {LEDGER_SCHEMA_VERSION}"
-        )
+        raise LedgerSchemaError(path, version)
     return snapshot
 
 
@@ -199,6 +247,31 @@ def compare_snapshots(baseline, candidate, tolerance=DEFAULT_TOLERANCE):
     blame_regressions = [
         row for row in blame_rows if row["delta_s"] > threshold
     ]
+
+    def op_map(snapshot):
+        return {
+            (row["op"], row["kind"]): row["seconds"]
+            for row in snapshot.get("op_blame", [])
+        }
+
+    b_ops = op_map(baseline)
+    c_ops = op_map(candidate)
+    op_rows = []
+    for key in sorted(set(b_ops) | set(c_ops)):
+        op, kind = key
+        b_s = b_ops.get(key, 0.0)
+        c_s = c_ops.get(key, 0.0)
+        op_rows.append(
+            {
+                "op": op,
+                "kind": kind,
+                "baseline_s": _round(b_s),
+                "candidate_s": _round(c_s),
+                "delta_s": _round(c_s - b_s),
+            }
+        )
+    op_rows.sort(key=lambda r: (-r["delta_s"], r["op"], r["kind"]))
+    op_regressions = [row for row in op_rows if row["delta_s"] > threshold]
 
     warnings = []
     b_mem = baseline.get("memory", {})
@@ -250,6 +323,8 @@ def compare_snapshots(baseline, candidate, tolerance=DEFAULT_TOLERANCE):
         },
         "blame_deltas": blame_rows,
         "blame_regressions": blame_regressions,
+        "op_blame_deltas": op_rows,
+        "op_blame_regressions": op_regressions,
         "warnings": warnings,
         "runs": run_rows,
     }
@@ -287,6 +362,22 @@ def format_compare(report, top=10):
     for row in report["blame_regressions"][:top]:
         lines.append(
             f"  REGRESSION: {row['category']} [{row['kind']}]"
+            f" grew {row['delta_s']:+.1f}s"
+        )
+    op_rows = [
+        r for r in report.get("op_blame_deltas", []) if r["delta_s"] != 0.0
+    ]
+    if op_rows:
+        lines.append("Logical-op deltas (candidate - baseline):")
+        width = max([len(str(r["op"])) for r in op_rows[:top]] + [8])
+        for row in op_rows[:top]:
+            lines.append(
+                f"  {str(row['op']).ljust(width)}  {row['kind']:<14}"
+                f"  {row['delta_s']:>+9.1f}"
+            )
+    for row in report.get("op_blame_regressions", [])[:top]:
+        lines.append(
+            f"  REGRESSION: {row['op']} [{row['kind']}]"
             f" grew {row['delta_s']:+.1f}s"
         )
     for warning in report["warnings"]:

@@ -118,6 +118,7 @@ class TaskRecord:
         "span",
         "task_id",
         "category",
+        "op",
         "queued",
         "ready",
         "not_before",
@@ -130,9 +131,9 @@ class TaskRecord:
     )
 
     def __init__(self, name, node, start, end, span=None, task_id=None,
-                 category=None, queued=None, ready=None, not_before=0.0,
-                 mem_deferred=False, transfer_s=0.0, compute_s=None,
-                 spill_s=0.0, dep_ids=(), retried=False):
+                 category=None, op=None, queued=None, ready=None,
+                 not_before=0.0, mem_deferred=False, transfer_s=0.0,
+                 compute_s=None, spill_s=0.0, dep_ids=(), retried=False):
         self.name = name
         self.node = node
         self.start = start
@@ -140,6 +141,7 @@ class TaskRecord:
         self.span = span
         self.task_id = task_id
         self.category = category
+        self.op = op
         self.queued = queued
         self.ready = ready
         self.not_before = not_before
@@ -182,6 +184,12 @@ class Observability:
         self.events = EventBus()
         self.spans = SpanStore()
         self.task_records = []
+        # Plane-1 provenance state: the ambient logical-op scope stack
+        # plus the lowering's declared span-name/category -> op maps
+        # (consumed by repro.obs.attribution).
+        self._provenance_stack = []
+        self.provenance_spans = {}
+        self.provenance_categories = {}
 
     @contextmanager
     def span(self, name, category=None, **attrs):
@@ -207,14 +215,45 @@ class Observability:
 
         ``meta`` carries the optional :class:`TaskRecord` scheduling
         fields (``task_id``, ``category``, ``queued``, ``ready``, ...).
-        Recording is pure bookkeeping -- it never touches the clock, so
-        observed and unobserved runs stay bit-identical.
+        Records with no explicit ``op`` inherit the ambient provenance
+        scope, if one is open.  Recording is pure bookkeeping -- it
+        never touches the clock, so observed and unobserved runs stay
+        bit-identical.
         """
+        if meta.get("op") is None and self._provenance_stack:
+            meta["op"] = self._provenance_stack[-1]
         self.task_records.append(
             TaskRecord(name, node, start, end, self.spans.current(), **meta)
         )
 
+    @contextmanager
+    def provenance(self, op):
+        """Attribute every task recorded inside the block to logical
+        ``op`` (unless the record carries its own explicit op)."""
+        self._provenance_stack.append(op)
+        try:
+            yield
+        finally:
+            self._provenance_stack.pop()
+
+    def current_provenance(self):
+        """The innermost ambient provenance id, or ``None``."""
+        return self._provenance_stack[-1] if self._provenance_stack else None
+
+    def declare_provenance(self, spans=None, categories=None):
+        """Merge lowering-declared span-name -> op and category -> op
+        maps, used by the attribution fold for tasks whose records do
+        not carry an explicit op."""
+        if spans:
+            self.provenance_spans.update(spans)
+        if categories:
+            self.provenance_categories.update(categories)
+
     def reset(self):
-        """Drop spans and records (used by ``cluster.reset_clock``)."""
+        """Drop spans and records (used by ``cluster.reset_clock``).
+
+        Provenance declarations survive a reset: they describe the
+        lowering, not one run.
+        """
         self.spans.clear()
         self.task_records.clear()

@@ -11,7 +11,16 @@ module directly.
 from importlib import import_module
 
 from repro.plan.astro import astro_plan
-from repro.plan.ir import LogicalPlan, Op, PlanError
+from repro.plan.ir import (
+    PSEUDO_IDLE,
+    PSEUDO_OPS,
+    PSEUDO_OVERHEAD,
+    PSEUDO_RECOVERY,
+    LogicalPlan,
+    Op,
+    PlanError,
+    provenance_id,
+)
 from repro.plan.neuro import neuro_plan
 
 # Engine name -> module that exposes lower(plan, ctx).
@@ -43,8 +52,13 @@ __all__ = [
     "LogicalPlan",
     "Op",
     "PlanError",
+    "PSEUDO_IDLE",
+    "PSEUDO_OPS",
+    "PSEUDO_OVERHEAD",
+    "PSEUDO_RECOVERY",
     "ENGINE_LOWERINGS",
     "astro_plan",
     "lower",
     "neuro_plan",
+    "provenance_id",
 ]

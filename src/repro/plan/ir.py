@@ -39,6 +39,24 @@ OP_KINDS = (
     "materialize",
 )
 
+#: Pseudo-ops used by the attribution fold for physical work that maps
+#: to no logical operator.  Real provenance ids are ``"<plan>/<op_id>"``
+#: (see :func:`provenance_id`); the ``@`` prefix keeps these disjoint.
+PSEUDO_OVERHEAD = "@overhead"
+PSEUDO_RECOVERY = "@recovery"
+PSEUDO_IDLE = "@idle"
+PSEUDO_OPS = (PSEUDO_OVERHEAD, PSEUDO_RECOVERY, PSEUDO_IDLE)
+
+
+def provenance_id(plan_name, op_id):
+    """The stable provenance id of one logical op: ``"<plan>/<op_id>"``.
+
+    This is the single definition every lowering backend references
+    when tagging physical tasks, spans, and blame segments with the
+    logical op that produced them.
+    """
+    return f"{plan_name}/{op_id}"
+
 
 class PlanError(ValueError):
     """A logical plan failed validation."""
@@ -132,6 +150,15 @@ class LogicalPlan:
 
     def children_of(self, op_id):
         return tuple(op for op in self.ops if op_id in op.parents)
+
+    def provenance(self, op_id):
+        """Stable provenance id of ``op_id`` (raises ``KeyError`` if the
+        op does not exist in this plan)."""
+        return provenance_id(self.name, self.op(op_id).op_id)
+
+    def provenance_ids(self):
+        """Provenance ids of every op, in plan order."""
+        return tuple(provenance_id(self.name, op.op_id) for op in self.ops)
 
     def param(self, name, default=None):
         return self.params.get(name, default)

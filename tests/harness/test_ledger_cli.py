@@ -60,8 +60,11 @@ def test_ledger_cli_writes_snapshot(tmp_path, capsys):
     assert path.exists()
     assert str(path) in out
     snapshot = json.loads(path.read_text())
-    assert snapshot["schema_version"] == 1
+    assert snapshot["schema_version"] == 2
     assert snapshot["experiment"] == "fig12a"
+    assert "op_blame" in snapshot
+    for run in snapshot["runs"]:
+        assert "op_blame" in run
 
 
 def test_compare_cli_same_snapshot_passes(tmp_path, capsys):

@@ -291,15 +291,19 @@ class TestBenchCli:
         out = tmp_path / "bench.json"
         assert _bench_main(["fig11", "--jobs", "1", "--out", str(out)]) == 0
         doc = json.loads(out.read_text())
-        assert doc["bench_schema_version"] == 1
+        assert doc["bench_schema_version"] == 2
         assert doc["quick"] is True
         fig = doc["figures"]["fig11"]
         for key in ("serial_s", "parallel_s", "warm_s", "jobs",
-                    "cache_hits", "cache_misses", "speedup",
+                    "cold_cache", "warm_cache", "speedup",
                     "warm_over_cold"):
             assert key in fig
-        assert fig["cache_hits"] > 0
-        assert fig["cache_misses"] == 0
+        # The cold run populates the cache (all misses); the warm run
+        # replays it (all hits).  v1 conflated the two counters.
+        assert fig["cold_cache"]["hits"] == 0
+        assert fig["cold_cache"]["misses"] > 0
+        assert fig["warm_cache"]["hits"] == fig["cold_cache"]["misses"]
+        assert fig["warm_cache"]["misses"] == 0
         capsys.readouterr()
         # ``compare`` auto-detects bench files; report-only, exit 0.
         assert _compare_main([str(out), str(out), "--json"]) == 0
@@ -307,6 +311,71 @@ class TestBenchCli:
         assert report["bench_compare"] is True
         assert report["figures"][0]["figure"] == "fig11"
         assert report["figures"][0]["serial_s_ratio"] == 1.0
+
+
+class TestTelemetry:
+    """Plane-2 instrumentation: executor phases, worker sidecars, and
+    the invariant that telemetry never alters payloads."""
+
+    def test_run_grid_records_executor_phases(self, tmp_path):
+        from repro.obs import telemetry
+
+        specs = _tiny_specs(include_fault_trial=False)
+        cache = TrialCache(str(tmp_path / "cache"))
+        with telemetry.recording() as rec:
+            run_grid(specs, jobs=2, cache=cache)
+        totals = rec.phase_totals()
+        for phase in ("cache-lookup", "pool-startup", "dispatch",
+                      "cache-store", "result-merge"):
+            assert phase in totals, f"missing phase {phase}"
+        snap = rec.metrics.snapshot()
+        assert snap["cache.misses"] == len(specs)
+        assert snap["cache.stores"] == len(specs)
+        assert 0.0 < snap["pool.utilization"] <= 1.0
+        # Worker sidecars surfaced as parent-side histograms.
+        assert snap["worker.worker-exec_s.count"] == len(specs)
+        assert snap["worker.snapshot-serialize_s.count"] == len(specs)
+        assert snap["cache.payload_bytes.count"] == len(specs)
+
+    def test_serial_path_records_worker_metrics(self):
+        from repro.obs import telemetry
+
+        specs = _tiny_specs(include_fault_trial=False)
+        with telemetry.recording() as rec:
+            run_grid(specs, jobs=1, cache=None)
+        totals = rec.phase_totals()
+        assert "dispatch" in totals
+        assert "pool-startup" not in totals
+        snap = rec.metrics.snapshot()
+        assert snap["worker.worker-exec_s.count"] == len(specs)
+
+    def test_telemetry_does_not_change_payloads(self, tmp_path):
+        from repro.obs import telemetry
+
+        specs = _tiny_specs(include_fault_trial=False)
+        plain = run_grid(specs, jobs=2, cache=None)
+        with telemetry.recording():
+            recorded = run_grid(specs, jobs=2, cache=None)
+        assert _canon(plain) == _canon(recorded)
+        # Cached payloads carry no telemetry sidecar.
+        cache = TrialCache(str(tmp_path / "cache"))
+        with telemetry.recording():
+            run_grid(specs, jobs=2, cache=cache)
+        replayed = run_grid(specs, jobs=1,
+                            cache=TrialCache(str(tmp_path / "cache")))
+        assert _canon(plain) == _canon(replayed)
+        for payload in replayed:
+            assert set(payload) == {"row", "snapshots"}
+
+    def test_profile_dir_dumps_worker_profiles(self, tmp_path, monkeypatch):
+        from repro.obs import telemetry
+
+        profile_dir = tmp_path / "profiles"
+        monkeypatch.setenv(telemetry.PROFILE_DIR_ENV, str(profile_dir))
+        specs = _tiny_specs(include_fault_trial=False)
+        run_grid(specs, jobs=2, cache=None)
+        dumps = list(profile_dir.glob("trial-*.prof"))
+        assert len(dumps) == len(specs)
 
 
 class TestCacheStore:
