@@ -26,6 +26,12 @@ def otsu_threshold(values, nbins=256):
     lo, hi = values.min(), values.max()
     if lo == hi:
         raise ValueError("cannot threshold a constant volume")
+    if (hi - lo) / nbins == 0.0:
+        # The span is too small for float arithmetic to subdivide into
+        # bins (subnormal range): every value is numerically identical
+        # at histogram precision, so any threshold inside the span
+        # separates the classes equally well.  Return the midpoint.
+        return float(lo + (hi - lo) / 2.0)
 
     # Bin the offsets from ``lo`` rather than the raw values: histogram
     # edges then depend only on the data's span, so adding a constant to

@@ -33,6 +33,7 @@ from repro.pipelines import common
 from repro.pipelines.neuro.reference import DENOISE_SIGMA, MASK_MEDIAN_RADIUS
 from repro.pipelines.neuro.staging import DEFAULT_BUCKET, volume_key
 from repro.plan.ir import provenance_id
+from repro.plan.memo import materialize_scope, subject_token
 from repro.plan.neuro import DEFAULT_BLOCKS, neuro_plan
 
 
@@ -190,12 +191,30 @@ def build_fit_graph(client, subject, vols_delayed, mask_delayed,
     )
 
 
-def run(client, subjects, n_blocks=DEFAULT_BLOCKS, bucket=DEFAULT_BUCKET):
+def run(client, subjects, n_blocks=DEFAULT_BLOCKS, bucket=DEFAULT_BUCKET,
+        plan=None):
     """End-to-end neuroscience pipeline on Dask.
 
     Returns ``(masks, fa_by_subject)``.  Subject downloads are pinned
     round-robin over the nodes (the paper's manual placement).
     """
+    if plan is None:
+        plan = neuro_plan(n_blocks=n_blocks, bucket=bucket)
+
+    # Task names embed the process-global delayed-key counter; a window
+    # recorded at one counter base cannot replay at another, so the base
+    # is part of every window key below.
+    from repro.engines.dask.delayed import keys_issued
+
+    key_base = keys_issued()
+
+    def input_token():
+        return {
+            "bucket": bucket,
+            "subjects": [subject_token(s) for s in subjects],
+            "key_base": key_base,
+        }
+
     nodes = client.cluster.node_order
     data = {}
     for index, subject in enumerate(subjects):
@@ -206,7 +225,10 @@ def run(client, subjects, n_blocks=DEFAULT_BLOCKS, bucket=DEFAULT_BUCKET):
 
     # Figure 8's barrier: materialize the downloads and read numVols.
     all_vols = [v for vols in data.values() for v in vols]
-    client.compute(all_vols)
+    with materialize_scope(
+        client.cluster, plan, "volumes", "dask", extra=input_token
+    ):
+        client.compute(all_vols)
     num_vols = {
         subject.subject_id: len(data[subject.subject_id])
         for subject in subjects
@@ -226,9 +248,12 @@ def run(client, subjects, n_blocks=DEFAULT_BLOCKS, bucket=DEFAULT_BUCKET):
     }
     # One barrier evaluates every subject's chain; subjects overlap.
     keys = [s.subject_id for s in subjects]
-    results = client.compute(
-        [masks_delayed[k] for k in keys] + [fa_delayed[k] for k in keys]
-    )
+    with materialize_scope(
+        client.cluster, plan, "fa", "dask", extra=input_token
+    ):
+        results = client.compute(
+            [masks_delayed[k] for k in keys] + [fa_delayed[k] for k in keys]
+        )
     masks = dict(zip(keys, results[: len(keys)]))
     fa = dict(zip(keys, results[len(keys):]))
     return masks, fa
@@ -263,5 +288,6 @@ class LoweredNeuro:
 
     def run(self, subjects):
         return run(
-            self.client, subjects, n_blocks=self.n_blocks, bucket=self.bucket
+            self.client, subjects, n_blocks=self.n_blocks,
+            bucket=self.bucket, plan=self.plan,
         )

@@ -19,6 +19,7 @@ from repro.pipelines import common
 from repro.pipelines.astro import reference as ref
 from repro.pipelines.astro.staging import DEFAULT_BUCKET
 from repro.plan.astro import astro_plan
+from repro.plan.memo import materialize_scope, visit_token
 
 EXPOSURES_COLUMNS = ("expId", "visit", "sensor", "x0", "img")
 
@@ -173,7 +174,7 @@ Sources = [FROM Coadds EMIT Coadds.patchY, Coadds.patchX,
 
 
 def run(conn, visits, mode="pipelined", chunks=1, bucket=DEFAULT_BUCKET,
-        grid=None, source="s3"):
+        grid=None, source="s3", plan=None):
     """End-to-end astronomy pipeline; returns ``(coadds, sources)``.
 
     ``mode`` is ``"pipelined"`` or ``"materialized"``; pass
@@ -186,6 +187,17 @@ def run(conn, visits, mode="pipelined", chunks=1, bucket=DEFAULT_BUCKET,
     if grid is None:
         grid = ref.default_patch_grid(exposures[0].shape)
     pixel_scale = ref.nominal_pixel_scale(exposures[0].shape, exposures[0].bundle)
+    if plan is None:
+        plan = astro_plan(bucket=bucket)
+
+    def input_token(**config):
+        return dict(
+            config,
+            visits=[visit_token(v) for v in visits],
+            grid=[grid.patch_height, grid.patch_width],
+            mode=mode,
+            source=source,
+        )
 
     if source == "s3":
         register_s3(conn, bucket=bucket)
@@ -231,18 +243,27 @@ def run(conn, visits, mode="pipelined", chunks=1, bucket=DEFAULT_BUCKET,
             bands.append(
                 (band_query(bounds[i], bounds[i + 1], px_lo, px_hi), band_keys)
             )
-        for text, band_keys in bands:
+        for band_index, (text, band_keys) in enumerate(bands):
             conn.register_s3_relation(
                 "Exposures", bucket, EXPOSURES_COLUMNS, _loader, keys=band_keys
             )
-            query = MyriaQuery.submit(conn, text, mode="materialized")
+            with materialize_scope(
+                conn.cluster, plan, "sources", "myria",
+                extra=lambda band_index=band_index: input_token(
+                    chunks=chunks, band=band_index
+                ),
+            ):
+                query = MyriaQuery.submit(conn, text, mode="materialized")
             for patch_y, patch_x, coadd_img in query.relation("Coadds").rows:
                 coadds[(patch_y, patch_x)] = coadd_img
             for patch_y, patch_x, srcs in query.relation("Sources").rows:
                 sources[(patch_y, patch_x)] = srcs
         return coadds, sources
 
-    query = MyriaQuery.submit(conn, PIPELINE_QUERY, mode=mode)
+    with materialize_scope(
+        conn.cluster, plan, "sources", "myria", extra=input_token
+    ):
+        query = MyriaQuery.submit(conn, PIPELINE_QUERY, mode=mode)
     for patch_y, patch_x, coadd_img in query.relation("Coadds").rows:
         coadds[(patch_y, patch_x)] = coadd_img
     for patch_y, patch_x, srcs in query.relation("Sources").rows:
@@ -262,5 +283,5 @@ class LoweredAstro:
     def run(self, visits, mode="pipelined", chunks=1, grid=None, source="s3"):
         return run(
             self.conn, visits, mode=mode, chunks=chunks, bucket=self.bucket,
-            grid=grid, source=source,
+            grid=grid, source=source, plan=self.plan,
         )

@@ -28,6 +28,7 @@ from repro.formats.sizing import SizedArray
 from repro.pipelines import common
 from repro.pipelines.neuro.reference import DENOISE_SIGMA, MASK_MEDIAN_RADIUS
 from repro.pipelines.neuro.staging import DEFAULT_BUCKET, gradient_tables
+from repro.plan.memo import materialize_scope, subject_token
 from repro.plan.neuro import DEFAULT_BLOCKS, neuro_plan
 
 IMAGES_COLUMNS = ("subjId", "imgId", "b0flag", "img")
@@ -274,9 +275,19 @@ def _block_of(block, n_blocks, nz):
     return slice(0, nz)
 
 
-def compute_masks(conn, subjects, mode="pipelined"):
+def _subjects_token(subjects, **config):
+    return dict(config, subjects=[subject_token(s) for s in subjects])
+
+
+def compute_masks(conn, subjects, mode="pipelined", plan=None, source="s3"):
     """Query 1: per-subject masks; stores the Mask relation."""
-    query = MyriaQuery.submit(conn, MASK_QUERY, mode=mode)
+    if plan is None:
+        plan = neuro_plan()
+    with materialize_scope(
+        conn.cluster, plan, "masks", "myria",
+        extra=lambda: _subjects_token(subjects, mode=mode, source=source),
+    ):
+        query = MyriaQuery.submit(conn, MASK_QUERY, mode=mode)
     masks = {}
     for subj, mask in query.relation("Masks").rows:
         masks[subj] = mask.array.astype(bool)
@@ -286,7 +297,7 @@ def compute_masks(conn, subjects, mode="pipelined"):
 
 
 def run(conn, subjects, n_blocks=DEFAULT_BLOCKS, mode="pipelined",
-        chunks=1, bucket=DEFAULT_BUCKET, source="s3"):
+        chunks=1, bucket=DEFAULT_BUCKET, source="s3", plan=None):
     """End-to-end neuroscience pipeline on Myria.
 
     ``source`` is ``"s3"`` (the paper's end-to-end path: read staged
@@ -301,12 +312,20 @@ def run(conn, subjects, n_blocks=DEFAULT_BLOCKS, mode="pipelined",
             ingest(conn, subjects, bucket=bucket)
     else:
         raise ValueError(f"unknown source {source!r}")
+    if plan is None:
+        plan = neuro_plan(n_blocks=n_blocks, bucket=bucket)
     register_udfs(conn, subjects, n_blocks=n_blocks)
-    masks = compute_masks(conn, subjects, mode=mode)
+    masks = compute_masks(conn, subjects, mode=mode, plan=plan, source=source)
     mask_fraction = float(np.mean([common.masked_fraction(m) for m in masks.values()]))
     register_udfs(conn, subjects, n_blocks=n_blocks, mask_fraction=mask_fraction)
 
-    query = MyriaQuery.submit(conn, PIPELINE_QUERY, mode=mode, chunks=chunks)
+    with materialize_scope(
+        conn.cluster, plan, "fa", "myria",
+        extra=lambda: _subjects_token(
+            subjects, mode=mode, chunks=chunks, source=source
+        ),
+    ):
+        query = MyriaQuery.submit(conn, PIPELINE_QUERY, mode=mode, chunks=chunks)
     fitted = query.relation("Fitted")
     fa_by_subject = {}
     for subj, block_id, fa_block in fitted.rows:
@@ -333,4 +352,5 @@ class LoweredNeuro:
         return run(
             self.conn, subjects, n_blocks=self.n_blocks, mode=mode,
             chunks=chunks, bucket=self.bucket, source=source,
+            plan=self.plan,
         )

@@ -493,6 +493,7 @@ class MyriaServer:
                     duration=cost,
                     node=self.worker_node(worker),
                     category="myria-scan",
+                    memoizable=True,
                 )
             )
         results = self.cluster.run(tasks)
@@ -542,6 +543,7 @@ class MyriaServer:
                     duration=cost,
                     node=self.worker_node(worker),
                     category="myria-ingest",
+                    memoizable=True,
                 )
             )
         results = self.cluster.run(tasks)
@@ -678,10 +680,9 @@ class MyriaServer:
 
     def _project(self, name, query, shards, refs, selections, mode, flatmap):
         out_columns = self._output_columns(query)
-        out_shards = [None] * self.n_workers
         tasks = []
         cm = self.cluster.cost_model
-        
+
         for worker in range(self.n_workers):
             rows = shards[worker]
 
@@ -697,7 +698,6 @@ class MyriaServer:
                         out.extend(self._emit_flatmap(query.emits, ctx))
                     else:
                         out.append(self._emit_row(query.emits, ctx))
-                out_shards[worker] = out
                 return out
 
             def cost(worker=worker, rows=rows):
@@ -720,10 +720,12 @@ class MyriaServer:
                     duration=cost,
                     node=self.worker_node(worker),
                     category=f"myria-{name}",
+                    memoizable=True,
                 )
             )
-        self.cluster.run(tasks)
-        intermediate = Intermediate(name, out_columns, list(out_shards))
+        results = self.cluster.run(tasks)
+        out_shards = [results[task.task_id].value for task in tasks]
+        intermediate = Intermediate(name, out_columns, out_shards)
         self._account_intermediate(intermediate, mode)
         return intermediate
 
@@ -758,9 +760,8 @@ class MyriaServer:
         shuffled = self._shuffle(pre_shards, key_indices, f"groupby-{name}")
 
         out_columns = self._output_columns(query)
-        out_shards = [None] * self.n_workers
         cm = self.cluster.cost_model
-        
+
         tasks = []
         for worker in range(self.n_workers):
             rows = shuffled[worker]
@@ -775,7 +776,6 @@ class MyriaServer:
                         arg_lists = list(zip(*(m[-1][uda_index] for m in members)))
                         aggregated.append(fn(*arg_lists))
                     out.append(tuple(key) + tuple(aggregated))
-                out_shards[worker] = out
                 return out
 
             def cost(worker=worker, rows=rows):
@@ -795,10 +795,12 @@ class MyriaServer:
                     duration=cost,
                     node=self.worker_node(worker),
                     category=f"myria-{name}",
+                    memoizable=True,
                 )
             )
-        self.cluster.run(tasks)
-        intermediate = Intermediate(name, out_columns, list(out_shards))
+        results = self.cluster.run(tasks)
+        out_shards = [results[task.task_id].value for task in tasks]
+        intermediate = Intermediate(name, out_columns, out_shards)
         self._account_intermediate(intermediate, mode)
         return intermediate
 

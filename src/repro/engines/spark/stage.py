@@ -289,6 +289,7 @@ class SparkScheduler:
                     on_oom="spill",
                     category=category,
                     op=stage_op,
+                    memoizable=True,
                 )
             )
         return tasks
@@ -348,6 +349,7 @@ class SparkScheduler:
                     on_oom="spill",
                     category="spark-s3-ingest",
                     op=stage_op,
+                    memoizable=True,
                 )
             )
         return tasks
@@ -393,6 +395,7 @@ class SparkScheduler:
                     on_oom="spill",
                     category=category,
                     op=stage_op,
+                    memoizable=True,
                 )
             )
         return tasks
@@ -490,6 +493,7 @@ class SparkScheduler:
                     on_oom="spill",
                     category="spark-shuffle",
                     op=stage_op,
+                    memoizable=True,
                 )
             )
         return tasks

@@ -594,9 +594,17 @@ def _compare_bench(baseline, candidate, paths=("baseline", "candidate"),
     b_version = baseline.get("bench_schema_version")
     c_version = candidate.get("bench_schema_version")
     if b_version != c_version:
+        detail = ""
+        if {b_version, c_version} == {2, 3}:
+            v2_path = paths[0] if b_version == 2 else paths[1]
+            detail = (
+                f" (v3 adds per-figure op_cache hit/miss counters,"
+                f" the dispatch chunk_size, and the snapshots_identical"
+                f" flag; {v2_path} predates them)"
+            )
         print(
             f"cannot compare: {paths[0]} has bench_schema_version"
-            f" {b_version!r} but {paths[1]} has {c_version!r};"
+            f" {b_version!r} but {paths[1]} has {c_version!r}{detail};"
             " regenerate both with the same build"
             " (PYTHONPATH=src python -m repro.harness bench)",
             file=sys.stderr,
@@ -662,39 +670,54 @@ def _compare_bench(baseline, candidate, paths=("baseline", "candidate"),
 #: grids the CI parallel job replays plus the per-step figure.
 BENCH_FIGURES = ("fig10c", "fig11", "fig12c")
 
-#: ``BENCH_harness.json`` layout version.  v2 splits the conflated v1
+#: ``BENCH_harness.json`` layout version.  v2 split the conflated v1
 #: ``cache_hits``/``cache_misses`` pair into per-phase ``cold_cache``/
-#: ``warm_cache`` counters and adds the optional ``--phases`` wall-clock
-#: decomposition.
-BENCH_SCHEMA_VERSION = 2
+#: ``warm_cache`` counters and added the optional ``--phases``
+#: wall-clock decomposition.  v3 adds per-figure ``op_cache`` counters
+#: (the sub-trial memoization tier), the dispatch ``chunk_size``, and
+#: ``snapshots_identical`` -- every leg now collects ledger snapshots,
+#: so serial, parallel and warm runs do identical work and the recorded
+#: speedups compare like with like.
+BENCH_SCHEMA_VERSION = 3
 
 
 def _timed_run(run, quick, label, phases=False, log_path=None):
-    """Time one figure run; optionally record its phase decomposition.
+    """Time one figure run; returns ``(wall_s, phase_report, canon)``.
 
-    With ``phases`` the run executes under an active telemetry recorder
-    whose top-level ``other`` phase wraps the whole figure, so the
-    executor's phases (cache-lookup, pool-startup, dispatch,
-    cache-store, result-merge) plus the ``other`` residue tile the
-    measured wall time by construction.
+    Every run executes under a :func:`collecting_snapshots` sink and
+    ``canon`` is the canonical JSON of the snapshots it produced, so
+    the bench can assert serial/parallel/warm byte-identity and every
+    leg pays the same snapshot-extraction work.
+
+    With ``phases`` the run additionally executes under an active
+    telemetry recorder whose top-level ``other`` phase wraps the whole
+    figure, so the executor's phases (cache-lookup, pool-startup,
+    dispatch, row-assemble, cache-store, result-merge) plus the
+    ``other`` residue tile the measured wall time by construction.
     """
     import time
 
     if not phases:
-        start = time.perf_counter()
-        run(quick)
-        return time.perf_counter() - start, None
+        with collecting_snapshots() as sink:
+            start = time.perf_counter()
+            run(quick)
+            wall = time.perf_counter() - start
+        return wall, None, json.dumps(sink.snapshots, sort_keys=True)
     from repro.obs import telemetry
 
     with telemetry.recording(log_path=log_path) as rec:
         rec.event("bench-run", label=label)
-        start = time.perf_counter()
-        with rec.phase("other", run=label):
-            run(quick)
-        wall = time.perf_counter() - start
+        with collecting_snapshots() as sink:
+            start = time.perf_counter()
+            with rec.phase("other", run=label):
+                run(quick)
+                # Close the bracket before the phase's exit bookkeeping
+                # (its own log write is telemetry overhead, not figure
+                # wall time).
+                wall = time.perf_counter() - start
         report = telemetry.phase_report(rec.phase_totals(), wall)
         report["metrics"] = rec.metrics.snapshot()
-    return wall, report
+    return wall, report, json.dumps(sink.snapshots, sort_keys=True)
 
 
 def _bench_main(argv):
@@ -704,9 +727,13 @@ def _bench_main(argv):
     run, one parallel warm-cache run.  Writes wall-clock seconds and
     per-phase cache counters to ``BENCH_harness.json`` -- the harness's
     own perf trajectory, the way ``benchmarks/ledger/`` tracks the
-    simulated clusters'.  ``--phases`` additionally decomposes each
-    run's wall clock into executor phases and appends the structured
-    telemetry log.
+    simulated clusters'.  Every leg runs under a snapshot sink so all
+    three do identical work, and the figure row records whether their
+    snapshots were byte-identical.  ``--phases`` additionally
+    decomposes each run's wall clock into executor phases and appends
+    the structured telemetry log; ``--gate`` turns a sub-1.0 speedup or
+    a snapshot mismatch into a non-zero exit (the CI parallel-harness
+    job runs this).
     """
     import contextlib
     import os
@@ -731,10 +758,15 @@ def _bench_main(argv):
     parser.add_argument("--phases", action="store_true",
                         help="record the wall-clock phase decomposition"
                         " of every run (cache-lookup, pool-startup,"
-                        " dispatch, cache-store, result-merge, other)")
+                        " dispatch, row-assemble, cache-store,"
+                        " result-merge, other)")
     parser.add_argument("--telemetry-log", default="BENCH_telemetry.jsonl",
                         help="JSON-lines telemetry log written under"
                         " --phases (default BENCH_telemetry.jsonl)")
+    parser.add_argument("--gate", action="store_true",
+                        help="exit non-zero if any figure's parallel"
+                        " speedup falls below 1.0 or its serial/"
+                        "parallel/warm snapshots are not byte-identical")
     args = parser.parse_args(argv)
 
     names = args.figures or list(BENCH_FIGURES)
@@ -749,7 +781,10 @@ def _bench_main(argv):
         # The recorder appends (one recording per run); start clean.
         with open(log_path, "w"):
             pass
+    from repro.harness import parallel as parallel_mod
+
     results = {}
+    gate_failures = []
     with open(os.devnull, "w") as devnull:
         for name in names:
             run = EXPERIMENTS[name]
@@ -757,26 +792,29 @@ def _bench_main(argv):
             try:
                 with contextlib.redirect_stdout(devnull):
                     with configured(jobs=1, cache=None):
-                        serial_s, serial_phases = _timed_run(
+                        serial_s, serial_phases, serial_canon = _timed_run(
                             run, quick, f"{name}/serial",
                             phases=args.phases, log_path=log_path,
                         )
 
                     cold = TrialCache(cache_dir)
+                    parallel_mod.last_chunk_size = None
                     with configured(jobs=args.jobs, cache=cold):
-                        parallel_s, parallel_phases = _timed_run(
+                        parallel_s, parallel_phases, cold_canon = _timed_run(
                             run, quick, f"{name}/parallel",
                             phases=args.phases, log_path=log_path,
                         )
+                    chunk_size = parallel_mod.last_chunk_size
 
                     warm = TrialCache(cache_dir)
                     with configured(jobs=args.jobs, cache=warm):
-                        warm_s, warm_phases = _timed_run(
+                        warm_s, warm_phases, warm_canon = _timed_run(
                             run, quick, f"{name}/warm",
                             phases=args.phases, log_path=log_path,
                         )
             finally:
                 shutil.rmtree(cache_dir, ignore_errors=True)
+            identical = serial_canon == cold_canon == warm_canon
             results[name] = {
                 "serial_s": round(serial_s, 3),
                 "parallel_s": round(parallel_s, 3),
@@ -784,6 +822,12 @@ def _bench_main(argv):
                 "jobs": args.jobs,
                 "cold_cache": cold.stats(),
                 "warm_cache": warm.stats(),
+                "op_cache": {
+                    "cold": cold.op_stats(),
+                    "warm": warm.op_stats(),
+                },
+                "chunk_size": chunk_size,
+                "snapshots_identical": identical,
                 "speedup": round(serial_s / parallel_s, 2)
                 if parallel_s else None,
                 "warm_over_cold": round(warm_s / parallel_s, 3)
@@ -812,6 +856,14 @@ def _bench_main(argv):
                 )
                 print(f"  parallel phases ({parallel_phases['coverage']:.0%}"
                       f" of wall): {parts}")
+            if not identical:
+                gate_failures.append(
+                    f"{name}: serial/parallel/warm snapshots differ"
+                )
+            if row["speedup"] is not None and row["speedup"] < 1.0:
+                gate_failures.append(
+                    f"{name}: parallel speedup {row['speedup']} < 1.0"
+                )
     document = {
         "bench_schema_version": BENCH_SCHEMA_VERSION,
         "quick": quick,
@@ -824,6 +876,10 @@ def _bench_main(argv):
     print(f"wrote {args.out}")
     if log_path:
         print(f"wrote telemetry log to {log_path}")
+    if args.gate and gate_failures:
+        for failure in gate_failures:
+            print(f"bench gate: {failure}", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -23,14 +23,17 @@ import dataclasses
 import hashlib
 import json
 import os
+import pickle
 import tempfile
 import time
+import zlib
 
 from repro.cluster.costs import CostModel
 from repro.obs import telemetry
 
 #: Bump when the cached payload layout changes incompatibly.
-CACHE_SCHEMA_VERSION = 1
+#: v2: compact zlib-compressed JSON payloads (was pretty JSON).
+CACHE_SCHEMA_VERSION = 2
 
 #: Environment variable overriding the cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -147,8 +150,40 @@ def cache_key(fn, kwargs, engine=None, cost_model=None, faults=None,
     return hashlib.sha256(canonical.encode()).hexdigest()
 
 
+def encode_payload(payload):
+    """Compact wire/disk form of a trial payload.
+
+    Canonical (sorted-key, no-whitespace) JSON, zlib-compressed at
+    level 1: cheap to produce in workers, byte-deterministic for a
+    given payload, and typically an order of magnitude smaller than the
+    old uncompressed JSON through the pool pipe.
+    """
+    encoded = json.dumps(
+        payload, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    return zlib.compress(encoded, 1)
+
+
+def decode_payload(blob):
+    """Inverse of :func:`encode_payload`; raises ``ValueError``-family
+    errors (``zlib.error`` subclasses OSError-neither — callers catch
+    broadly) on corrupt input."""
+    return json.loads(zlib.decompress(blob))
+
+
 class TrialCache:
-    """Directory of cached trial payloads, one JSON file per key."""
+    """Directory of cached payloads, content-addressed in two tiers.
+
+    The *trial* tier stores one compressed-JSON payload (rows +
+    snapshots) per trial key.  The *op* tier, under ``<root>/op/``,
+    stores pickled materialize-window entry streams keyed by logical-op
+    content fingerprints (see ``repro.harness.memo``), so trials that
+    share a plan prefix replay the shared sub-DAG instead of
+    recomputing it.
+
+    Corrupt or truncated files in either tier count as misses: the
+    offending file is evicted and the result recomputed.
+    """
 
     def __init__(self, root=None):
         if root is None:
@@ -156,20 +191,45 @@ class TrialCache:
         self.root = root
         self.hits = 0
         self.misses = 0
+        self.op_hits = 0
+        self.op_misses = 0
+        self.op_stores = 0
 
     def _path(self, key):
-        return os.path.join(self.root, key[:2], f"{key}.json")
+        return os.path.join(self.root, key[:2], f"{key}.jz")
+
+    def _op_path(self, key):
+        return os.path.join(self.root, "op", key[:2], f"{key}.pkz")
+
+    def _evict(self, path):
+        """Drop an unreadable cache file so the recomputed result can
+        take its place (a second reader racing us is fine: unlink
+        errors are ignored and ``put`` replaces atomically)."""
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
 
     def get(self, key):
         """Cached payload for ``key``, or ``None`` on a miss."""
         rec = telemetry.recorder()
         start = time.perf_counter()
+        path = self._path(key)
         try:
-            with open(self._path(key)) as fh:
-                payload = json.load(fh)
-        except (OSError, ValueError):
+            with open(path, "rb") as fh:
+                blob = fh.read()
+        except OSError:
             self.misses += 1
             rec.count("cache.misses")
+            rec.observe("cache.get_s", time.perf_counter() - start)
+            return None
+        try:
+            payload = decode_payload(blob)
+        except Exception:  # noqa: BLE001 - any corruption is a miss
+            self._evict(path)
+            self.misses += 1
+            rec.count("cache.misses")
+            rec.count("cache.evictions")
             rec.observe("cache.get_s", time.perf_counter() - start)
             return None
         self.hits += 1
@@ -177,19 +237,65 @@ class TrialCache:
         rec.observe("cache.get_s", time.perf_counter() - start)
         return payload
 
-    def put(self, key, payload):
-        """Store ``payload`` atomically (rename over a temp file)."""
+    def put(self, key, payload, encoded=None):
+        """Store ``payload`` atomically (rename over a temp file).
+
+        ``encoded`` short-circuits serialization when the caller
+        already holds the :func:`encode_payload` bytes (pool workers
+        encode payloads for transport; the parent stores them as-is).
+        """
         rec = telemetry.recorder()
         start = time.perf_counter()
+        if encoded is None:
+            encoded = encode_payload(payload)
         path = self._path(key)
+        self._write_atomic(path, encoded)
+        rec.count("cache.stores")
+        rec.observe("cache.payload_bytes", len(encoded))
+        rec.observe("cache.put_s", time.perf_counter() - start)
+
+    def get_op(self, key):
+        """Recorded window entries for op ``key``, or ``None``."""
+        rec = telemetry.recorder()
+        path = self._op_path(key)
+        try:
+            with open(path, "rb") as fh:
+                blob = fh.read()
+        except OSError:
+            self.op_misses += 1
+            rec.count("cache.op_misses")
+            return None
+        try:
+            entries = pickle.loads(zlib.decompress(blob))
+        except Exception:  # noqa: BLE001 - any corruption is a miss
+            self._evict(path)
+            self.op_misses += 1
+            rec.count("cache.op_misses")
+            rec.count("cache.evictions")
+            return None
+        self.op_hits += 1
+        rec.count("cache.op_hits")
+        return entries
+
+    def put_op(self, key, entries):
+        """Store one recorded window's entries atomically."""
+        rec = telemetry.recorder()
+        blob = zlib.compress(
+            pickle.dumps(entries, protocol=pickle.HIGHEST_PROTOCOL), 1
+        )
+        self._write_atomic(self._op_path(key), blob)
+        self.op_stores += 1
+        rec.count("cache.op_stores")
+        rec.observe("cache.op_payload_bytes", len(blob))
+
+    def _write_atomic(self, path, blob):
         os.makedirs(os.path.dirname(path), exist_ok=True)
         fd, tmp = tempfile.mkstemp(
             dir=os.path.dirname(path), suffix=".tmp"
         )
         try:
-            with os.fdopen(fd, "w") as fh:
-                encoded = json.dumps(payload)
-                fh.write(encoded)
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(blob)
             os.replace(tmp, path)
         except BaseException:
             try:
@@ -197,10 +303,15 @@ class TrialCache:
             except OSError:
                 pass
             raise
-        rec.count("cache.stores")
-        rec.observe("cache.payload_bytes", len(encoded))
-        rec.observe("cache.put_s", time.perf_counter() - start)
 
     def stats(self):
         """``{"hits", "misses"}`` counters for this cache handle."""
         return {"hits": self.hits, "misses": self.misses}
+
+    def op_stats(self):
+        """Op-tier counters for this cache handle."""
+        return {
+            "hits": self.op_hits,
+            "misses": self.op_misses,
+            "stores": self.op_stores,
+        }

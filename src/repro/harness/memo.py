@@ -1,0 +1,176 @@
+"""Op-level record/replay of materialized sub-DAGs.
+
+:class:`MaterializeMemo` is the harness half of the sub-trial
+memoization protocol (the lowering half is
+``repro.plan.memo.materialize_scope``).  A *window* covers the
+execution of one ``materialize`` op's upstream sub-DAG.  While a window
+is open, the cluster executor consults it for every task flagged
+``memoizable``:
+
+* **record** mode captures, per executed task and in execution order,
+  the tuple the live run produced — the task's result value, its
+  modeled duration, its (possibly fn-assigned) ``output_bytes``, and
+  the deltas the fn/cost closures applied to the network counters and
+  the executing node's disk counters.
+* **replay** mode substitutes the recorded tuple, skipping the real
+  numpy computation and the cost-closure evaluation entirely.
+
+Everything else — scheduling, the virtual clock, memory admission,
+transfers, spill charges, spans, task records, and all engine-side
+driver state — runs live in both modes, so a replayed run is
+byte-identical to a recorded one by construction: the replayed values
+and durations are exactly what the deterministic live computation would
+have produced for the same content-addressed inputs.
+
+Windows are all-or-nothing: a recorded window is only stored if every
+entry serialized cleanly, and a replayed window that diverges from the
+live task stream (unexpected task name, exhausted entries) goes *dead*
+— remaining tasks run live, which is always correct because recorded
+deltas equal live deltas.
+"""
+
+import hashlib
+import json
+import pickle
+
+from repro.harness.cache import code_tree_hash, relevant_constants
+
+#: Bump when the window entry layout or key composition changes.
+OP_MEMO_SCHEMA_VERSION = 1
+
+#: Marker distinguishing "fn returned None" from "fn-less task".
+_NO_VALUE = b""
+
+
+def _counters(node, network):
+    """Snapshot of every counter a memoizable task may mutate."""
+    return (
+        network.bytes_node_to_node,
+        network.bytes_from_s3,
+        network.bytes_broadcast,
+        network.transfer_count,
+        node.disk.bytes_read,
+        node.disk.bytes_written,
+    )
+
+
+class RecordWindow:
+    """Captures one window's task stream for later replay."""
+
+    mode = "record"
+
+    __slots__ = ("key", "entries", "ok")
+
+    def __init__(self, key):
+        self.key = key
+        self.entries = []
+        self.ok = True
+
+    def replay(self, task, node, network):
+        return None
+
+    def snapshot(self, node, network):
+        if not self.ok:
+            return None
+        return _counters(node, network)
+
+    def record(self, task, value, duration, node, network, before):
+        """Append one executed task's outcome; a value that cannot be
+        pickled abandons the whole window (all-or-nothing)."""
+        if not self.ok or before is None:
+            return
+        if value is None:
+            blob = _NO_VALUE
+        else:
+            try:
+                blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+            except Exception:  # noqa: BLE001 - any unpicklable value
+                self.abort()
+                return
+        after = _counters(node, network)
+        deltas = tuple(a - b for a, b in zip(after, before))
+        self.entries.append(
+            (task.name, blob, float(duration), int(task.output_bytes), deltas)
+        )
+
+    def abort(self):
+        self.ok = False
+        del self.entries[:]
+
+
+class ReplayWindow:
+    """Feeds a recorded task stream back into the executor."""
+
+    mode = "replay"
+
+    __slots__ = ("key", "entries", "_next", "dead")
+
+    def __init__(self, key, entries):
+        self.key = key
+        self.entries = entries
+        self._next = 0
+        self.dead = False
+
+    def replay(self, task, node, network):
+        """The recorded ``(value, duration)`` for ``task``, applying its
+        recorded ``output_bytes`` and counter deltas; ``None`` (run
+        live) once the stream diverges or is exhausted."""
+        if self.dead:
+            return None
+        if self._next >= len(self.entries):
+            self.dead = True
+            return None
+        name, blob, duration, output_bytes, deltas = self.entries[self._next]
+        if name != task.name:
+            self.dead = True
+            return None
+        self._next += 1
+        value = None if blob == _NO_VALUE else pickle.loads(blob)
+        task.output_bytes = output_bytes
+        network.bytes_node_to_node += deltas[0]
+        network.bytes_from_s3 += deltas[1]
+        network.bytes_broadcast += deltas[2]
+        network.transfer_count += deltas[3]
+        node.disk.bytes_read += deltas[4]
+        node.disk.bytes_written += deltas[5]
+        return value, duration
+
+    def snapshot(self, node, network):
+        return None
+
+    def record(self, task, value, duration, node, network, before):
+        pass
+
+    def abort(self):
+        self.dead = True
+
+
+class MaterializeMemo:
+    """Binds materialize windows to the op tier of a ``TrialCache``."""
+
+    def __init__(self, cache):
+        self.cache = cache
+
+    def window_key(self, descriptor, cost_model):
+        """Content address of one window: the lowering's descriptor
+        (op fingerprint, engine, cluster shape, data identity) composed
+        with the engine-relevant cost constants and the code salt."""
+        doc = {
+            "schema": OP_MEMO_SCHEMA_VERSION,
+            "salt": code_tree_hash(),
+            "constants": relevant_constants(cost_model, descriptor["engine"]),
+            "descriptor": descriptor,
+        }
+        encoded = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
+    def open_window(self, descriptor, cost_model):
+        key = self.window_key(descriptor, cost_model)
+        entries = self.cache.get_op(key)
+        if entries is not None:
+            return ReplayWindow(key, entries)
+        return RecordWindow(key)
+
+    def close_window(self, window):
+        if window.mode == "record" and window.ok and window.entries:
+            self.cache.put_op(window.key, window.entries)

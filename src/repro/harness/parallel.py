@@ -11,26 +11,46 @@ runs them inline at ``jobs=1``, the library default) and merges the
 payloads back in submission order, so the rows -- and the ledger
 snapshots derived from them -- are byte-identical to a serial run.
 
-Workers return plain JSON-safe payloads (``{"row", "snapshots"}``);
-cluster objects never cross the process boundary.  Snapshots are only
-computed when someone will consume them (an active
+The pool is *warm*: created lazily on the first pooled grid and reused
+across ``run_grid`` calls and figures for the life of the process (or
+until :func:`shutdown_pool`), so only the first pooled grid pays
+process startup.  Trials are dispatched in adaptively-sized chunks --
+one pool submission carries several specs -- and grids whose estimated
+cost is below the dispatch overhead fall back to inline execution.
+
+Workers return compact payloads: canonical JSON compressed with zlib
+(see ``repro.harness.cache.encode_payload``), which the parent stores
+in the cache verbatim and decodes once for merging.  Snapshots are
+only computed when someone will consume them (an active
 :func:`collecting_snapshots` sink, an enabled cache, or a worker that
 cannot defer the decision), so plain smoke runs pay nothing extra.
 """
 
+import atexit
 import multiprocessing
 import os
 import time
-from contextlib import contextmanager
+import traceback
+from contextlib import contextmanager, nullcontext
 from dataclasses import asdict
 
 from repro.cluster.costs import CostModel
 from repro.harness import runner
-from repro.harness.cache import cache_key
+from repro.harness.cache import (
+    TrialCache,
+    cache_key,
+    decode_payload,
+    encode_payload,
+)
+from repro.harness.memo import MaterializeMemo
 from repro.obs import telemetry
 
 #: Registered trial functions: name -> callable returning one row dict.
 TRIAL_FNS = {}
+
+#: Bumped by every registration; a warm pool forked under an older
+#: version is stale (its workers lack the new entries) and is rebuilt.
+_registry_version = 0
 
 #: Sentinel distinguishing "not passed" from an explicit ``None``.
 _UNSET = object()
@@ -44,9 +64,11 @@ def trial(name):
     pickling the callable.
     """
     def register(fn):
+        global _registry_version
         if name in TRIAL_FNS:
             raise ValueError(f"trial {name!r} registered twice")
         TRIAL_FNS[name] = fn
+        _registry_version += 1
         return fn
     return register
 
@@ -77,12 +99,52 @@ class TrialSpec:
         )
 
 
+class TrialExecutionError(RuntimeError):
+    """One or more trials raised inside :func:`run_grid`.
+
+    Carries the worker-side failures (``failures``: list of
+    ``(index, spec_fn, error_dict)`` with the original traceback text)
+    and the surviving payloads in submission order (``payloads``, with
+    ``None`` holes at the failed indices), so callers and tests can
+    verify the merge was not corrupted by the failure.
+    """
+
+    def __init__(self, failures, payloads):
+        self.failures = failures
+        self.payloads = payloads
+        index, fn, error = failures[0]
+        summary = (
+            f"{len(failures)} of {len(payloads)} trials failed; first: "
+            f"trial #{index} ({fn}) raised {error['type']}: "
+            f"{error['message']}\n--- original traceback ---\n"
+            f"{error['traceback']}"
+        )
+        super().__init__(summary)
+
+
 # ----------------------------------------------------------------------
 # Executor configuration (the CLI opts in; the library default -- one
 # in-process job, no cache -- leaves test and import behavior unchanged)
 # ----------------------------------------------------------------------
 
 _config = {"jobs": 1, "cache": None}
+
+#: Pooled grids whose estimated total cost (from the observed per-trial
+#: EMA) is below this fall back to inline execution: dispatching them
+#: would cost more than it saves.  Tests may monkeypatch this.
+AUTO_SERIAL_THRESHOLD_S = 0.02
+
+#: Target pool submissions per worker process: more gives better load
+#: balancing, fewer cuts per-submission overhead.
+_CHUNKS_PER_WORKER = 4
+
+#: fn name -> exponential moving average of observed trial seconds.
+_trial_cost_ema = {}
+
+#: Chunk size of the most recent pooled dispatch (``None`` until one
+#: runs, or after an inline/auto-serial grid).  The self-benchmark
+#: publishes this per figure in ``BENCH_harness.json``.
+last_chunk_size = None
 
 
 @contextmanager
@@ -153,18 +215,25 @@ def _snapshot_cluster(cluster):
 
 
 def _execute_trial(fn_name, kwargs, cost_constants, want_snapshots,
-                   timings=None):
+                   timings=None, cache=None):
     """Run one trial in the current process; returns its payload.
 
     ``timings``, when given, receives wall-clock seconds for the trial
     body (``worker-exec``) and the snapshot extraction
     (``snapshot-serialize``) -- the worker-side half of the harness
     self-telemetry.  Timing never touches the payload itself.
+
+    ``cache`` (a :class:`TrialCache`) enables sub-trial memoization:
+    a :class:`MaterializeMemo` bound to its op tier is installed on
+    every cluster the trial builds.
     """
     fn = TRIAL_FNS[fn_name]
     clusters = []
+    memo_ctx = nullcontext()
+    if cache is not None:
+        memo_ctx = runner.materialize_memo(MaterializeMemo(cache))
     start = time.perf_counter()
-    with runner.observe_clusters(clusters.append):
+    with memo_ctx, runner.observe_clusters(clusters.append):
         if cost_constants is None:
             row = fn(**kwargs)
         else:
@@ -187,17 +256,18 @@ def _worker_init():
     # Observer callbacks close over parent-process state (lists the
     # parent is collecting into); firing the forked copies would waste
     # time and never be seen.  Snapshots carry the observability data
-    # back instead.
+    # back instead.  Likewise drop any recorder the fork inherited:
+    # worker-side telemetry returns through the result sidecar.
     del runner._cluster_observers[:]
+    telemetry.clear_recorder()
 
 
-def _pool_entry(args):
-    """Worker-side entry: returns ``{"payload", "telemetry"}``.
+def _run_one(args, cache):
+    """Worker-side single trial: compact payload + telemetry sidecar.
 
-    The telemetry sidecar is stripped by the parent before payloads are
-    cached or merged, preserving the serial/pooled/cache byte-identity
-    invariant.  Setting ``REPRO_PROFILE_DIR`` additionally dumps a
-    cProfile of each trial into that directory.
+    Failures are captured, not raised: the chunk's surviving trials
+    still return, and the parent re-raises with the original traceback
+    after completing the submission-order merge.
     """
     fn_name, kwargs, cost_constants = args
     # Under the spawn start method the registry is empty until the
@@ -214,7 +284,23 @@ def _pool_entry(args):
         profiler.enable()
     try:
         payload = _execute_trial(fn_name, kwargs, cost_constants, True,
-                                 timings=timings)
+                                 timings=timings, cache=cache)
+        start = time.perf_counter()
+        blob = encode_payload(payload)
+        timings["snapshot-serialize"] = (
+            timings.get("snapshot-serialize", 0.0)
+            + time.perf_counter() - start
+        )
+        result = {"payload_z": blob, "telemetry": timings}
+    except Exception as exc:  # noqa: BLE001 - reported to the parent
+        result = {
+            "error": {
+                "type": type(exc).__name__,
+                "message": str(exc),
+                "traceback": traceback.format_exc(),
+            },
+            "telemetry": timings,
+        }
     finally:
         if profiler is not None:
             profiler.disable()
@@ -223,7 +309,29 @@ def _pool_entry(args):
                 profile_dir, f"trial-{fn_name}-pid{os.getpid()}"
                 f"-{time.monotonic_ns()}.prof"
             ))
-    return {"payload": payload, "telemetry": timings}
+    return result
+
+
+def _pool_entry(chunk):
+    """Worker-side entry: one chunk of trials -> list of results.
+
+    ``chunk`` is ``(cache_root, [(fn, kwargs, cost_constants), ...])``.
+    Each result carries the op-tier cache counters the chunk's memo
+    accumulated, which the parent folds back into its own handle.
+    """
+    cache_root, items = chunk
+    cache = TrialCache(cache_root) if cache_root is not None else None
+    results = []
+    for args in items:
+        before = cache.op_stats() if cache is not None else None
+        result = _run_one(args, cache)
+        if cache is not None:
+            after = cache.op_stats()
+            result["op_cache"] = {
+                name: after[name] - before[name] for name in after
+            }
+        results.append(result)
+    return results
 
 
 def _pool_context():
@@ -233,15 +341,103 @@ def _pool_context():
     )
 
 
+# ----------------------------------------------------------------------
+# The warm pool: created once, reused across run_grid calls and figures
+# ----------------------------------------------------------------------
+
+_pool_state = {
+    "pool": None,
+    "procs": 0,
+    "registry_version": -1,
+    "profile_dir": None,
+}
+
+
+def shutdown_pool():
+    """Terminate the warm pool (process exit, or tests needing a cold
+    start).  The next pooled grid recreates it."""
+    pool = _pool_state["pool"]
+    if pool is not None:
+        pool.terminate()
+        pool.join()
+    _pool_state.update(
+        pool=None, procs=0, registry_version=-1, profile_dir=None
+    )
+
+
+atexit.register(shutdown_pool)
+
+
+def _ensure_pool(n_procs):
+    """The warm pool, (re)created when too small or stale.
+
+    Staleness: trial registrations after the fork (workers would lack
+    them) or a changed ``REPRO_PROFILE_DIR`` (forked workers captured
+    the old environment).
+    """
+    profile_dir = telemetry.profile_dir()
+    state = _pool_state
+    if (
+        state["pool"] is None
+        or state["procs"] < n_procs
+        or state["registry_version"] != _registry_version
+        or state["profile_dir"] != profile_dir
+    ):
+        shutdown_pool()
+        ctx = _pool_context()
+        with telemetry.telemetry_phase("pool-startup", processes=n_procs):
+            state["pool"] = ctx.Pool(
+                processes=n_procs, initializer=_worker_init
+            )
+        state["procs"] = n_procs
+        state["registry_version"] = _registry_version
+        state["profile_dir"] = profile_dir
+    return state["pool"]
+
+
+def _chunk_size(n_pending, n_procs):
+    """Adaptive dispatch granularity: enough submissions per worker to
+    balance load, but no more than needed (each costs a round trip)."""
+    target = n_procs * _CHUNKS_PER_WORKER
+    return max(1, -(-n_pending // target))
+
+
+def _note_trial_cost(fn_name, seconds):
+    previous = _trial_cost_ema.get(fn_name)
+    if previous is None:
+        _trial_cost_ema[fn_name] = seconds
+    else:
+        _trial_cost_ema[fn_name] = 0.5 * previous + 0.5 * seconds
+
+
+def _estimated_cost(specs, pending):
+    """Estimated total seconds for ``pending``, or ``None`` when any
+    trial has never been observed (assume expensive)."""
+    total = 0.0
+    for i in pending:
+        ema = _trial_cost_ema.get(specs[i].fn)
+        if ema is None:
+            return None
+        total += ema
+    return total
+
+
 def run_grid(specs, jobs=None, cache=_UNSET, cost_model=None):
     """Execute a list of :class:`TrialSpec`; returns payloads in order.
 
     Payloads are ``{"row": <row dict>[, "snapshots": [...]]}``.  Rows
-    and snapshots are identical whether trials ran inline, across a
-    process pool, or were replayed from the cache; active
+    and snapshots are identical whether trials ran inline, across the
+    warm pool in chunks, were replayed from the trial cache, or were
+    recomputed through op-level memo replay; active
     :func:`collecting_snapshots` sinks receive every snapshot in
     submission order.
+
+    If any trial raises, the surviving trials are still merged (and
+    cached) in submission order, then :class:`TrialExecutionError` is
+    raised carrying the original traceback(s).
     """
+    global last_chunk_size
+    last_chunk_size = None
     specs = list(specs)
     if jobs is None:
         jobs = _config["jobs"]
@@ -252,7 +448,9 @@ def run_grid(specs, jobs=None, cache=_UNSET, cost_model=None):
     rec = telemetry.recorder()
     cost_constants = None if cost_model is None else asdict(cost_model)
     payloads = [None] * len(specs)
+    encoded = [None] * len(specs)
     keys = [None] * len(specs)
+    failures = []
     pending = []
     with telemetry.telemetry_phase("cache-lookup", trials=len(specs)):
         for index, spec in enumerate(specs):
@@ -264,60 +462,110 @@ def run_grid(specs, jobs=None, cache=_UNSET, cost_model=None):
                     continue
             pending.append(index)
 
-    if pending:
-        if jobs > 1 and len(pending) > 1:
-            ctx = _pool_context()
-            work = [
-                (specs[i].fn, specs[i].kwargs, cost_constants)
-                for i in pending
-            ]
-            n_procs = min(jobs, len(pending))
-            with telemetry.telemetry_phase("pool-startup", processes=n_procs):
-                pool = ctx.Pool(processes=n_procs, initializer=_worker_init)
-            try:
-                start = time.perf_counter()
-                with telemetry.telemetry_phase("dispatch", trials=len(work)):
-                    results = pool.map(_pool_entry, work)
-                map_wall = time.perf_counter() - start
-            finally:
-                pool.terminate()
-                pool.join()
-            busy = 0.0
-            for i, wrapped in zip(pending, results):
-                payloads[i] = wrapped["payload"]
+    use_pool = jobs > 1 and len(pending) > 1
+    if use_pool:
+        estimate = _estimated_cost(specs, pending)
+        if estimate is not None and estimate < AUTO_SERIAL_THRESHOLD_S:
+            use_pool = False
+            rec.event(
+                "auto-serial", trials=len(pending),
+                estimate_s=round(estimate, 6),
+            )
+
+    if pending and use_pool:
+        n_procs = min(jobs, len(pending))
+        pool = _ensure_pool(n_procs)
+        cache_root = cache.root if cache is not None else None
+        size = _chunk_size(len(pending), n_procs)
+        last_chunk_size = size
+        rec.gauge("pool.chunk_size", size)
+        work = [
+            (
+                cache_root,
+                [
+                    (specs[i].fn, specs[i].kwargs, cost_constants)
+                    for i in pending[lo:lo + size]
+                ],
+            )
+            for lo in range(0, len(pending), size)
+        ]
+        start = time.perf_counter()
+        with telemetry.telemetry_phase(
+            "dispatch", trials=len(pending), chunks=len(work),
+        ):
+            chunk_results = pool.map(_pool_entry, work)
+        map_wall = time.perf_counter() - start
+        busy = 0.0
+        with telemetry.telemetry_phase("row-assemble", trials=len(pending)):
+            flat = [r for chunk in chunk_results for r in chunk]
+            for i, wrapped in zip(pending, flat):
                 worker = wrapped.get("telemetry") or {}
                 busy += sum(worker.values())
                 for name, seconds in sorted(worker.items()):
                     rec.observe(f"worker.{name}_s", seconds)
-            utilization = busy / max(n_procs * map_wall, 1e-9)
-            rec.gauge("pool.utilization", utilization)
-            rec.event(
-                "pool", processes=n_procs, busy_s=round(busy, 6),
-                map_wall_s=round(map_wall, 6),
-                utilization=round(utilization, 6),
-            )
-        else:
-            timings = {} if rec.active else None
-            with telemetry.telemetry_phase("dispatch", trials=len(pending)):
-                for i in pending:
+                if "worker-exec" in worker:
+                    _note_trial_cost(specs[i].fn, worker["worker-exec"])
+                op_cache = wrapped.get("op_cache")
+                if op_cache is not None and cache is not None:
+                    cache.op_hits += op_cache["hits"]
+                    cache.op_misses += op_cache["misses"]
+                    cache.op_stores += op_cache["stores"]
+                if "error" in wrapped:
+                    failures.append((i, specs[i].fn, wrapped["error"]))
+                    continue
+                encoded[i] = wrapped["payload_z"]
+                payloads[i] = decode_payload(encoded[i])
+                if not want_snapshots:
+                    # Workers cannot defer the decision; keep the
+                    # payload shape identical to an inline run.
+                    payloads[i].pop("snapshots", None)
+        utilization = busy / max(n_procs * map_wall, 1e-9)
+        rec.gauge("pool.utilization", utilization)
+        rec.event(
+            "pool", processes=n_procs, chunk_size=size,
+            busy_s=round(busy, 6), map_wall_s=round(map_wall, 6),
+            utilization=round(utilization, 6),
+        )
+    elif pending:
+        timings = {}
+        with telemetry.telemetry_phase("dispatch", trials=len(pending)):
+            for i in pending:
+                try:
                     payloads[i] = _execute_trial(
                         specs[i].fn, specs[i].kwargs, cost_constants,
-                        want_snapshots, timings=timings,
+                        want_snapshots, timings=timings, cache=cache,
                     )
-                    if timings is not None:
-                        for name, seconds in sorted(timings.items()):
-                            rec.observe(f"worker.{name}_s", seconds)
-        if cache is not None:
-            with telemetry.telemetry_phase("cache-store", trials=len(pending)):
-                for i in pending:
-                    cache.put(keys[i], payloads[i])
+                except Exception as exc:  # noqa: BLE001 - merged below
+                    failures.append((i, specs[i].fn, {
+                        "type": type(exc).__name__,
+                        "message": str(exc),
+                        "traceback": traceback.format_exc(),
+                    }))
+                if "worker-exec" in timings:
+                    _note_trial_cost(specs[i].fn, timings["worker-exec"])
+                if rec.active:
+                    for name, seconds in sorted(timings.items()):
+                        rec.observe(f"worker.{name}_s", seconds)
+                timings.clear()
+
+    if pending and cache is not None:
+        with telemetry.telemetry_phase("cache-store", trials=len(pending)):
+            for i in pending:
+                if payloads[i] is None:
+                    continue
+                cache.put(keys[i], payloads[i], encoded=encoded[i])
 
     with telemetry.telemetry_phase("result-merge", trials=len(specs)):
         if _snapshot_sinks:
             for payload in payloads:
+                if payload is None:
+                    continue
                 for snapshot in payload.get("snapshots", ()):
                     for sink in _snapshot_sinks:
                         sink.snapshots.append(snapshot)
+
+    if failures:
+        raise TrialExecutionError(failures, payloads)
     return payloads
 
 

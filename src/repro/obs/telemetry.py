@@ -176,6 +176,18 @@ def recorder():
     return _current
 
 
+def clear_recorder():
+    """Reset to the null recorder without closing anything.
+
+    Forked pool workers call this from their initializer: the recorder
+    they inherit belongs to the parent (including its log file
+    descriptor), and worker-side telemetry returns through the result
+    sidecar instead.
+    """
+    global _current
+    _current = NULL_RECORDER
+
+
 @contextmanager
 def recording(log_path=None, clock=time.perf_counter):
     """Activate a fresh :class:`PhaseRecorder` for the block."""

@@ -25,6 +25,8 @@ on:
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
@@ -46,6 +48,12 @@ PSEUDO_OVERHEAD = "@overhead"
 PSEUDO_RECOVERY = "@recovery"
 PSEUDO_IDLE = "@idle"
 PSEUDO_OPS = (PSEUDO_OVERHEAD, PSEUDO_RECOVERY, PSEUDO_IDLE)
+
+
+def _fingerprint_canon(obj):
+    """Canonical JSON for fingerprint documents (stable across runs)."""
+    return json.dumps(obj, sort_keys=True, default=repr,
+                      separators=(",", ":"))
 
 
 def provenance_id(plan_name, op_id):
@@ -162,6 +170,37 @@ class LogicalPlan:
 
     def param(self, name, default=None):
         return self.params.get(name, default)
+
+    def fingerprints(self):
+        """op_id -> stable content fingerprint (sha256 hex) for every op.
+
+        An op's fingerprint hashes its own identity (kind, params, step,
+        blame) together with the fingerprints of its parents and
+        broadcast side-inputs, plus the plan name and plan-level
+        parameters.  Two ops agree iff their entire upstream sub-DAGs
+        agree, so the fingerprint is the content address the op-level
+        cache tier keys on.
+        """
+        fps = {}
+        base = _fingerprint_canon({"plan": self.name, "params": self.params})
+        for op in self.ops:
+            doc = _fingerprint_canon({
+                "base": base,
+                "op": op.op_id,
+                "kind": op.kind,
+                "step": op.step,
+                "blame": op.blame,
+                "params": op.params,
+                "parents": [fps[p] for p in op.parents],
+                "uses": [fps[u] for u in op.uses],
+            })
+            fps[op.op_id] = hashlib.sha256(doc.encode("utf-8")).hexdigest()
+        return fps
+
+    def fingerprint(self, op_id):
+        """Content fingerprint of one op (raises ``KeyError`` if absent)."""
+        self.op(op_id)  # raise KeyError for unknown ids
+        return self.fingerprints()[op_id]
 
     def validate(self):
         """Lint the plan; raises :class:`PlanError` on the first defect."""

@@ -1,0 +1,199 @@
+"""Sub-trial memoization hook between lowerings and the harness.
+
+A lowering backend wraps each *forcing* call — the execution of one
+``materialize`` op's upstream sub-DAG — in :func:`materialize_scope`.
+When the harness has installed a memo on the cluster
+(``cluster.materialize_memo``, see ``repro.harness.memo``), the scope
+opens a record-or-replay *window* keyed by the logical op's content
+fingerprint plus everything else that determines the window's task
+stream: the engine, the cluster shape, the engine-relevant cost
+constants, and an ``extra`` descriptor the lowering builds from its
+actual inputs (dataset identity, tuning knobs that change task
+structure).  With no memo installed — every path outside the harness
+cache — the scope is a no-op, so engines never pay for the hook.
+
+Fault-injected runs never memoize: straggler slowdowns and S3 retry
+backoff are sampled inside the execution the window would skip, so the
+scope degrades to a no-op whenever the cluster has a fault plan
+installed.  (This also means fault plans never need to enter the window
+key.)
+
+This module deliberately lives on the plan side and imports nothing
+from ``repro.harness``: engines depend on plans, and the memo object is
+duck-typed (``open_window``/``close_window``).
+"""
+
+import hashlib
+from contextlib import contextmanager
+
+
+def array_token(arr):
+    """Content hash of a small numpy array (dtype, shape, raw bytes).
+
+    Use this — never ``repr`` — when a window descriptor must include
+    array data (masks, gradient tables): ``repr`` elides elements and
+    would collide distinct inputs.
+    """
+    digest = hashlib.sha256()
+    digest.update(str(arr.dtype).encode("utf-8"))
+    digest.update(str(arr.shape).encode("utf-8"))
+    digest.update(arr.tobytes())
+    return digest.hexdigest()
+
+
+def subject_token(subject):
+    """Content descriptor of one neuro subject: id plus hashes of the
+    diffusion data and gradient table (everything the pipelines read).
+
+    Cached on the instance — subjects are immutable once generated and
+    one grid re-describes the same subjects many times.
+    """
+    token = getattr(subject, "_memo_token", None)
+    if token is None:
+        token = {
+            "subject_id": subject.subject_id,
+            "data": array_token(subject.data.array),
+            "bvals": array_token(subject.gtab.bvals),
+            "bvecs": array_token(subject.gtab.bvecs),
+        }
+        subject._memo_token = token
+    return token
+
+
+def visit_token(visit):
+    """Content descriptor of one astro visit: id plus per-exposure
+    hashes of flux/variance/mask and the sky placement."""
+    token = getattr(visit, "_memo_token", None)
+    if token is None:
+        token = {
+            "visit_id": visit.visit_id,
+            "exposures": [
+                {
+                    "sensor_id": exp.sensor_id,
+                    "bundle": exp.bundle,
+                    "flux": array_token(exp.flux),
+                    "variance": array_token(exp.variance),
+                    "mask": array_token(exp.mask),
+                    "sky_box": repr(exp.sky_box),
+                }
+                for exp in visit.exposures
+            ],
+        }
+        visit._memo_token = token
+    return token
+
+
+def gradient_token(gtabs):
+    """Content descriptor of a ``{subject_id: GradientTable}`` map."""
+    return {
+        sid: {"bvals": array_token(g.bvals), "bvecs": array_token(g.bvecs)}
+        for sid, g in sorted(gtabs.items())
+    }
+
+
+def mask_token(masks):
+    """Content descriptor of a ``{subject_id: mask ndarray}`` map."""
+    return {sid: array_token(m) for sid, m in sorted(masks.items())}
+
+
+def _content_token(value):
+    """Content hash of one staged object (volume or exposure)."""
+    array = getattr(value, "array", None)
+    if array is not None:  # SizedArray volume
+        return {
+            "array": array_token(array),
+            "nominal_shape": list(value.nominal_shape),
+            "meta": {k: repr(v) for k, v in sorted(value.meta.items())},
+        }
+    flux = getattr(value, "flux", None)
+    if flux is not None:  # SensorExposure
+        return {
+            "sensor_id": value.sensor_id,
+            "bundle": value.bundle,
+            "flux": array_token(value.flux),
+            "variance": array_token(value.variance),
+            "mask": array_token(value.mask),
+            "sky_box": repr(value.sky_box),
+        }
+    if isinstance(value, bytes):
+        return hashlib.sha256(value).hexdigest()
+    return repr(value)
+
+
+def bucket_token(store, bucket, prefix=""):
+    """Content descriptor of every staged object under a bucket prefix.
+
+    Op-level cache entries outlive the trial that wrote them, so the
+    window key cannot lean on trial kwargs: two trials with identical
+    staged *keys* but different staged *content* (e.g. a different data
+    scale) must never share a window.  Hashing the staged arrays is far
+    cheaper than the pipeline compute the window replaces.
+    """
+    return [
+        {
+            "key": key,
+            "nbytes": store.size_of(bucket, key),
+            "content": _content_token(store.peek(bucket, key)),
+        }
+        for key in store.list_keys(bucket, prefix)
+    ]
+
+
+def _cluster_token(cluster):
+    spec = cluster.spec
+    return {
+        "n_nodes": spec.n_nodes,
+        "workers_per_node": spec.workers_per_node,
+        "slots_per_worker": spec.slots_per_worker,
+        "node": {
+            "name": spec.node.name,
+            "cores": spec.node.cores,
+            "memory_bytes": spec.node.memory_bytes,
+            "disk_bytes": spec.node.disk_bytes,
+        },
+    }
+
+
+@contextmanager
+def materialize_scope(cluster, plan, op_id, engine, extra=None):
+    """Record or replay the execution window of ``plan``'s ``op_id``.
+
+    No-op unless the harness installed ``cluster.materialize_memo``;
+    also a no-op under fault injection and inside an already-open window
+    (the outermost scope owns the whole stream).
+
+    ``extra`` may be a callable returning the descriptor — pass a
+    lambda when building it involves content hashing, so uncached runs
+    (no memo installed) never pay for it.
+    """
+    memo = getattr(cluster, "materialize_memo", None)
+    if (
+        memo is None
+        or getattr(cluster, "_faults", None) is not None
+        or getattr(cluster, "memo_window", None) is not None
+    ):
+        yield
+        return
+    if callable(extra):
+        extra = extra()
+    descriptor = {
+        "plan": plan.name,
+        "op_id": op_id,
+        "op": plan.fingerprint(op_id),
+        "engine": engine,
+        "cluster": _cluster_token(cluster),
+        "extra": extra,
+    }
+    window = memo.open_window(descriptor, cluster.cost_model)
+    if window is None:
+        yield
+        return
+    cluster.memo_window = window
+    try:
+        yield
+    except BaseException:
+        window.abort()
+        raise
+    finally:
+        cluster.memo_window = None
+        memo.close_window(window)

@@ -8,7 +8,11 @@ task ids within one cluster, so per-process task-counter offsets
 cannot leak into results.
 """
 
+import glob
 import json
+import os
+import shutil
+import tempfile
 
 import pytest
 from hypothesis import HealthCheck, given, settings
@@ -16,15 +20,18 @@ from hypothesis import strategies as st
 
 from repro.cluster.costs import CostModel
 from repro.harness import experiments as E  # noqa: F401 - fills the registry
+from repro.harness import parallel
 from repro.harness.cache import TrialCache, cache_key, relevant_constants
 from repro.harness.parallel import (
     TRIAL_FNS,
     SnapshotSink,
+    TrialExecutionError,
     TrialSpec,
     collecting_snapshots,
     configured,
     grid_rows,
     run_grid,
+    shutdown_pool,
 )
 
 TINY_NEURO = {"scale": 20, "n_volumes": 12}
@@ -57,6 +64,33 @@ def _tiny_specs(include_fault_trial=True, engines=("dask", "spark")):
             )
         )
     return specs
+
+
+def _random_pool():
+    """Spec pool the hypothesis grid tests draw from: engine x count x
+    cluster-size fig10c trials plus two f16 trials under an active
+    FaultPlan."""
+    return [
+        TrialSpec(
+            "fig10c",
+            {"kind": kind, "count": count, "n_nodes": nodes,
+             "profile": dict(TINY_NEURO)},
+            engine=kind,
+        )
+        for kind in ("dask", "myria", "spark")
+        for count in (1, 2)
+        for nodes in (2, 4)
+    ] + [
+        TrialSpec(
+            "f16",
+            {"kind": kind, "n_subjects": 1, "n_nodes": 4,
+             "profile": dict(TINY_NEURO), "restart_after_s": 18.0,
+             "seed": 16},
+            engine=kind,
+            faults={"crash": "last-node@50%-progress", "seed": 16},
+        )
+        for kind in ("spark", "dask")
+    ]
 
 
 class TestRegistry:
@@ -108,37 +142,57 @@ class TestDeterminism:
         produce byte-identical rows and ledger snapshots (modulo
         ``git_sha``, which never enters run snapshots) at any job count.
         """
-        pool = [
-            TrialSpec(
-                "fig10c",
-                {"kind": kind, "count": count, "n_nodes": nodes,
-                 "profile": dict(TINY_NEURO)},
-                engine=kind,
-            )
-            for kind in ("dask", "myria", "spark")
-            for count in (1, 2)
-            for nodes in (2, 4)
-        ] + [
-            TrialSpec(
-                "f16",
-                {"kind": kind, "n_subjects": 1, "n_nodes": 4,
-                 "profile": dict(TINY_NEURO), "restart_after_s": 18.0,
-                 "seed": 16},
-                engine=kind,
-                faults={"crash": "last-node@50%-progress", "seed": 16},
-            )
-            for kind in ("spark", "dask")
-        ]
+        pool = _random_pool()
         indices = data.draw(
             st.lists(st.integers(0, len(pool) - 1), min_size=1, max_size=4)
         )
         specs = [pool[i] for i in indices]
         with collecting_snapshots() as serial_sink:
             serial = run_grid(specs, jobs=1, cache=None)
-        with collecting_snapshots() as parallel_sink:
-            parallel = run_grid(specs, jobs=jobs, cache=None)
-        assert _canon(serial) == _canon(parallel)
-        assert _canon(serial_sink.snapshots) == _canon(parallel_sink.snapshots)
+        # Force the warm-pool chunked path (the cost EMA would otherwise
+        # route these tiny trials through the auto-serial fallback).
+        threshold = parallel.AUTO_SERIAL_THRESHOLD_S
+        parallel.AUTO_SERIAL_THRESHOLD_S = 0.0
+        try:
+            with collecting_snapshots() as pooled_sink:
+                pooled = run_grid(specs, jobs=jobs, cache=None)
+        finally:
+            parallel.AUTO_SERIAL_THRESHOLD_S = threshold
+        assert _canon(serial) == _canon(pooled)
+        assert _canon(serial_sink.snapshots) == _canon(pooled_sink.snapshots)
+
+    @settings(max_examples=3, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(data=st.data())
+    def test_random_grid_op_memo_replay_is_byte_identical(self, data):
+        """Delete the trial tier but keep the op tier: every trial
+        recomputes, materialized sub-DAGs replay from the op cache, and
+        rows + snapshots stay byte-identical to an uncached serial run.
+        """
+        pool = _random_pool()
+        indices = data.draw(
+            st.lists(st.integers(0, len(pool) - 1), min_size=1, max_size=3)
+        )
+        specs = [pool[i] for i in indices]
+        with collecting_snapshots() as serial_sink:
+            serial = run_grid(specs, jobs=1, cache=None)
+        root = tempfile.mkdtemp()
+        try:
+            run_grid(specs, jobs=1, cache=TrialCache(root))
+            # Trial tier only -- op entries live under <root>/op/ as
+            # .pkz and survive.
+            for path in glob.glob(os.path.join(root, "*", "*.jz")):
+                os.unlink(path)
+            replay_cache = TrialCache(root)
+            with collecting_snapshots() as replay_sink:
+                replayed = run_grid(specs, jobs=1, cache=replay_cache)
+            assert replay_cache.hits == 0
+            assert _canon(replayed) == _canon(serial)
+            assert _canon(replay_sink.snapshots) == _canon(
+                serial_sink.snapshots
+            )
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
 
 
 class TestSnapshotSinks:
@@ -289,14 +343,14 @@ class TestBenchCli:
         from repro.harness.__main__ import _bench_main, _compare_main
 
         out = tmp_path / "bench.json"
-        assert _bench_main(["fig11", "--jobs", "1", "--out", str(out)]) == 0
+        assert _bench_main(["fig10c", "--jobs", "1", "--out", str(out)]) == 0
         doc = json.loads(out.read_text())
-        assert doc["bench_schema_version"] == 2
+        assert doc["bench_schema_version"] == 3
         assert doc["quick"] is True
-        fig = doc["figures"]["fig11"]
+        fig = doc["figures"]["fig10c"]
         for key in ("serial_s", "parallel_s", "warm_s", "jobs",
-                    "cold_cache", "warm_cache", "speedup",
-                    "warm_over_cold"):
+                    "cold_cache", "warm_cache", "op_cache", "chunk_size",
+                    "snapshots_identical", "speedup", "warm_over_cold"):
             assert key in fig
         # The cold run populates the cache (all misses); the warm run
         # replays it (all hits).  v1 conflated the two counters.
@@ -304,29 +358,91 @@ class TestBenchCli:
         assert fig["cold_cache"]["misses"] > 0
         assert fig["warm_cache"]["hits"] == fig["cold_cache"]["misses"]
         assert fig["warm_cache"]["misses"] == 0
+        # v3: the op tier records during the cold leg, and every leg's
+        # snapshots were byte-identical.  --jobs 1 never pools, so the
+        # dispatch chunk size is null.
+        assert fig["op_cache"]["cold"]["stores"] > 0
+        assert fig["snapshots_identical"] is True
+        assert fig["chunk_size"] is None
         capsys.readouterr()
         # ``compare`` auto-detects bench files; report-only, exit 0.
         assert _compare_main([str(out), str(out), "--json"]) == 0
         report = json.loads(capsys.readouterr().out)
         assert report["bench_compare"] is True
-        assert report["figures"][0]["figure"] == "fig11"
+        assert report["figures"][0]["figure"] == "fig10c"
         assert report["figures"][0]["serial_s_ratio"] == 1.0
+
+    def test_bench_phase_coverage_accounts_for_wall_time(self, tmp_path,
+                                                         capsys):
+        from repro.harness.__main__ import _bench_main
+
+        out = tmp_path / "bench.json"
+        log = tmp_path / "telemetry.jsonl"
+        assert _bench_main([
+            "fig11", "--jobs", "2", "--out", str(out), "--phases",
+            "--telemetry-log", str(log),
+        ]) == 0
+        doc = json.loads(out.read_text())
+        phases = doc["figures"]["fig11"]["phases"]
+        for leg in ("serial", "parallel", "warm"):
+            assert phases[leg]["coverage"] >= 0.99, (
+                f"{leg} leg accounts for only"
+                f" {phases[leg]['coverage']:.1%} of its wall time"
+            )
+
+    def test_compare_v2_v3_schema_diagnostic(self, tmp_path, capsys):
+        from repro.harness.__main__ import _compare_main
+
+        old = tmp_path / "old.json"
+        new = tmp_path / "new.json"
+        old.write_text(json.dumps(
+            {"bench_schema_version": 2, "figures": {}}
+        ))
+        new.write_text(json.dumps(
+            {"bench_schema_version": 3, "figures": {}}
+        ))
+        assert _compare_main([str(old), str(new)]) == 2
+        err = capsys.readouterr().err
+        assert "bench_schema_version" in err
+        assert "op_cache" in err  # names what v3 added
+
+    def test_bench_gate_flags_sub_unity_speedup(self, tmp_path, capsys,
+                                                monkeypatch):
+        from repro.harness import __main__ as cli
+
+        real_timed_run = cli._timed_run
+        walls = iter([0.1, 0.5, 0.01])  # serial, parallel, warm
+
+        def slow_parallel(run, quick, label, phases=False, log_path=None):
+            _wall, report, canon = real_timed_run(
+                run, quick, label, phases=phases, log_path=log_path
+            )
+            return next(walls), report, canon
+
+        monkeypatch.setattr(cli, "_timed_run", slow_parallel)
+        out = tmp_path / "bench.json"
+        assert cli._bench_main(
+            ["fig11", "--jobs", "1", "--out", str(out), "--gate"]
+        ) == 1
+        assert "speedup" in capsys.readouterr().err
 
 
 class TestTelemetry:
     """Plane-2 instrumentation: executor phases, worker sidecars, and
     the invariant that telemetry never alters payloads."""
 
-    def test_run_grid_records_executor_phases(self, tmp_path):
+    def test_run_grid_records_executor_phases(self, tmp_path, monkeypatch):
         from repro.obs import telemetry
 
+        monkeypatch.setattr(parallel, "AUTO_SERIAL_THRESHOLD_S", 0.0)
+        shutdown_pool()  # pool-startup only appears on a cold pool
         specs = _tiny_specs(include_fault_trial=False)
         cache = TrialCache(str(tmp_path / "cache"))
         with telemetry.recording() as rec:
             run_grid(specs, jobs=2, cache=cache)
         totals = rec.phase_totals()
         for phase in ("cache-lookup", "pool-startup", "dispatch",
-                      "cache-store", "result-merge"):
+                      "row-assemble", "cache-store", "result-merge"):
             assert phase in totals, f"missing phase {phase}"
         snap = rec.metrics.snapshot()
         assert snap["cache.misses"] == len(specs)
@@ -357,25 +473,217 @@ class TestTelemetry:
         with telemetry.recording():
             recorded = run_grid(specs, jobs=2, cache=None)
         assert _canon(plain) == _canon(recorded)
+        # No consumer -> no snapshots, pooled or not.
+        for payload in plain:
+            assert set(payload) == {"row"}
         # Cached payloads carry no telemetry sidecar.
         cache = TrialCache(str(tmp_path / "cache"))
         with telemetry.recording():
             run_grid(specs, jobs=2, cache=cache)
         replayed = run_grid(specs, jobs=1,
                             cache=TrialCache(str(tmp_path / "cache")))
-        assert _canon(plain) == _canon(replayed)
+        assert _canon([p["row"] for p in plain]) == _canon(
+            [p["row"] for p in replayed]
+        )
         for payload in replayed:
             assert set(payload) == {"row", "snapshots"}
 
     def test_profile_dir_dumps_worker_profiles(self, tmp_path, monkeypatch):
         from repro.obs import telemetry
 
+        monkeypatch.setattr(parallel, "AUTO_SERIAL_THRESHOLD_S", 0.0)
         profile_dir = tmp_path / "profiles"
         monkeypatch.setenv(telemetry.PROFILE_DIR_ENV, str(profile_dir))
         specs = _tiny_specs(include_fault_trial=False)
         run_grid(specs, jobs=2, cache=None)
         dumps = list(profile_dir.glob("trial-*.prof"))
         assert len(dumps) == len(specs)
+
+
+class TestWarmPool:
+    """The pool outlives run_grid: one startup cost per process, not
+    one per figure."""
+
+    def test_pool_persists_across_grids(self, monkeypatch):
+        monkeypatch.setattr(parallel, "AUTO_SERIAL_THRESHOLD_S", 0.0)
+        shutdown_pool()
+        specs = _tiny_specs(include_fault_trial=False)
+        run_grid(specs, jobs=2, cache=None)
+        pool = parallel._pool_state["pool"]
+        assert pool is not None
+        run_grid(specs, jobs=2, cache=None)
+        assert parallel._pool_state["pool"] is pool
+
+    def test_warm_reuse_skips_pool_startup_phase(self, monkeypatch):
+        from repro.obs import telemetry
+
+        monkeypatch.setattr(parallel, "AUTO_SERIAL_THRESHOLD_S", 0.0)
+        shutdown_pool()
+        specs = _tiny_specs(include_fault_trial=False)
+        run_grid(specs, jobs=2, cache=None)  # cold: creates the pool
+        with telemetry.recording() as rec:
+            run_grid(specs, jobs=2, cache=None)
+        totals = rec.phase_totals()
+        assert "pool-startup" not in totals
+        assert "dispatch" in totals
+
+    def test_pool_grows_for_larger_grids(self, monkeypatch):
+        monkeypatch.setattr(parallel, "AUTO_SERIAL_THRESHOLD_S", 0.0)
+        shutdown_pool()
+        run_grid(
+            _tiny_specs(include_fault_trial=False), jobs=2, cache=None
+        )
+        small = parallel._pool_state["pool"]
+        run_grid(
+            _tiny_specs(include_fault_trial=False,
+                        engines=("dask", "spark", "myria")),
+            jobs=3, cache=None,
+        )
+        assert parallel._pool_state["pool"] is not small
+        assert parallel._pool_state["procs"] == 3
+
+    def test_shutdown_resets_state(self, monkeypatch):
+        monkeypatch.setattr(parallel, "AUTO_SERIAL_THRESHOLD_S", 0.0)
+        run_grid(
+            _tiny_specs(include_fault_trial=False), jobs=2, cache=None
+        )
+        shutdown_pool()
+        assert parallel._pool_state["pool"] is None
+        assert parallel._pool_state["procs"] == 0
+
+
+class TestAutoSerial:
+    """Grids cheaper than the dispatch overhead never touch the pool."""
+
+    def test_cheap_grid_runs_inline(self, monkeypatch):
+        from repro.obs import telemetry
+
+        specs = _tiny_specs(include_fault_trial=False)
+        run_grid(specs, jobs=1, cache=None)  # seed the cost EMA
+        monkeypatch.setattr(parallel, "AUTO_SERIAL_THRESHOLD_S", 1e9)
+        shutdown_pool()
+        with telemetry.recording() as rec:
+            payloads = run_grid(specs, jobs=4, cache=None)
+        assert parallel._pool_state["pool"] is None  # never created
+        assert parallel.last_chunk_size is None
+        totals = rec.phase_totals()
+        assert "pool-startup" not in totals
+        assert "dispatch" in totals
+        # The inline path still records worker-side telemetry.
+        snap = rec.metrics.snapshot()
+        assert snap["worker.worker-exec_s.count"] == len(specs)
+        assert len(payloads) == len(specs)
+
+    def test_unobserved_trials_assume_expensive(self, monkeypatch):
+        monkeypatch.setattr(parallel, "AUTO_SERIAL_THRESHOLD_S", 1e9)
+        monkeypatch.setattr(parallel, "_trial_cost_ema", {})
+        shutdown_pool()
+        run_grid(
+            _tiny_specs(include_fault_trial=False), jobs=2, cache=None
+        )
+        # No EMA observation -> no estimate -> pooled despite the
+        # enormous threshold.
+        assert parallel._pool_state["pool"] is not None
+
+
+class TestFailurePropagation:
+    """A failing trial surfaces its original traceback without
+    corrupting the submission-order merge of the survivors."""
+
+    @staticmethod
+    def _specs_with_failure():
+        good = _tiny_specs(include_fault_trial=False)  # dask, spark
+        bad = TrialSpec(
+            "fig10c",
+            {"kind": "spark", "count": 1, "n_nodes": 4,
+             "profile": dict(TINY_NEURO), "bogus": True},
+            engine="spark",
+        )
+        return good, [good[0], bad, good[1]]
+
+    def _check(self, jobs, monkeypatch):
+        monkeypatch.setattr(parallel, "AUTO_SERIAL_THRESHOLD_S", 0.0)
+        good, specs = self._specs_with_failure()
+        with collecting_snapshots() as serial_sink:
+            serial = run_grid(good, jobs=1, cache=None)
+        with collecting_snapshots() as sink:
+            with pytest.raises(TrialExecutionError) as excinfo:
+                run_grid(specs, jobs=jobs, cache=None)
+        err = excinfo.value
+        assert [(i, fn) for i, fn, _ in err.failures] == [(1, "fig10c")]
+        assert err.failures[0][2]["type"] == "TypeError"
+        # The original worker-side traceback is embedded in the message.
+        assert "bogus" in str(err)
+        assert "Traceback" in str(err)
+        assert err.payloads[1] is None
+        survivors = [err.payloads[0], err.payloads[2]]
+        assert _canon(survivors) == _canon(serial)
+        assert _canon(sink.snapshots) == _canon(serial_sink.snapshots)
+
+    def test_pooled_failure(self, monkeypatch):
+        self._check(2, monkeypatch)
+
+    def test_inline_failure(self, monkeypatch):
+        self._check(1, monkeypatch)
+
+
+class TestOpMemo:
+    """Sub-trial memoization: trials sharing a logical plan prefix
+    replay the shared materialized sub-DAGs from the op tier."""
+
+    def test_prefix_sharing_trials_record_op_hits(self, tmp_path):
+        # fig10c and f16 both run the spark neuro pipeline over the same
+        # staged subjects; f16's baseline leg shares the final
+        # materialize ("fa") with fig10c's trial.
+        specs = [
+            TrialSpec(
+                "fig10c",
+                {"kind": "spark", "count": 1, "n_nodes": 4,
+                 "profile": dict(TINY_NEURO)},
+                engine="spark",
+            ),
+            TrialSpec(
+                "f16",
+                {"kind": "spark", "n_subjects": 1, "n_nodes": 4,
+                 "profile": dict(TINY_NEURO), "restart_after_s": 18.0,
+                 "seed": 16},
+                engine="spark",
+                faults={"crash": "last-node@50%-progress", "seed": 16},
+            ),
+        ]
+        with collecting_snapshots() as ref_sink:
+            reference = run_grid(specs, jobs=1, cache=None)
+        cache = TrialCache(str(tmp_path / "cache"))
+        with collecting_snapshots() as memo_sink:
+            memoized = run_grid(specs, jobs=1, cache=cache)
+        stats = cache.op_stats()
+        assert stats["stores"] > 0
+        assert stats["hits"] > 0, (
+            "f16's baseline leg shares a plan prefix with fig10c but "
+            "recorded no op-cache hits"
+        )
+        # Memo replay never changes results.
+        assert _canon(memoized) == _canon(reference)
+        assert _canon(memo_sink.snapshots) == _canon(ref_sink.snapshots)
+
+    def test_faulted_trials_never_touch_the_op_tier(self, tmp_path):
+        spec = _tiny_specs()[-1]  # f16 under an active FaultPlan
+        cache = TrialCache(str(tmp_path / "cache"))
+        run_grid([spec], jobs=1, cache=cache)
+        # The baseline leg records windows; replaying the whole trial
+        # under the same key must not have polluted the op tier with
+        # entries from the faulty leg (whose task stream depends on the
+        # fault plan).  Re-running with a fresh handle replays the
+        # baseline windows and recomputes the faulty leg live.
+        replay = TrialCache(str(tmp_path / "cache"))
+        for path in glob.glob(
+            os.path.join(str(tmp_path / "cache"), "*", "*.jz")
+        ):
+            os.unlink(path)
+        with collecting_snapshots() as sink:
+            run_grid([spec], jobs=1, cache=replay)
+        assert replay.hits == 0
+        assert len(sink.snapshots) == 2
 
 
 class TestCacheStore:
@@ -393,3 +701,48 @@ class TestCacheStore:
         with open(cache._path("a" * 64), "w") as fh:
             fh.write("{not json")
         assert cache.get("a" * 64) is None
+
+    @staticmethod
+    def _truncate(path):
+        with open(path, "rb") as fh:
+            blob = fh.read()
+        with open(path, "wb") as fh:
+            fh.write(blob[: len(blob) // 2])
+
+    def test_truncated_entry_is_evicted_then_recomputable(self, tmp_path):
+        cache = TrialCache(str(tmp_path))
+        payload = {"row": {"simulated_s": 1.5}, "snapshots": []}
+        cache.put("b" * 64, payload)
+        path = cache._path("b" * 64)
+        self._truncate(path)
+        assert cache.get("b" * 64) is None  # miss, not a crash
+        assert not os.path.exists(path)  # evicted
+        cache.put("b" * 64, payload)  # the slot is reusable
+        assert cache.get("b" * 64) == payload
+
+    def test_truncated_op_entry_is_evicted(self, tmp_path):
+        cache = TrialCache(str(tmp_path))
+        entries = [("task-0", b"value", 0.25, 128, {"tasks_run": 1})]
+        cache.put_op("c" * 64, entries)
+        path = cache._op_path("c" * 64)
+        self._truncate(path)
+        assert cache.get_op("c" * 64) is None
+        assert not os.path.exists(path)
+        assert cache.op_stats() == {"hits": 0, "misses": 1, "stores": 1}
+
+    def test_truncation_mid_payload_recomputes_identically(self, tmp_path):
+        """End to end: a cache file truncated mid-payload (torn write,
+        full disk) is treated as a miss and the trial recomputes to the
+        same bytes."""
+        specs = _tiny_specs(include_fault_trial=False, engines=("spark",))
+        root = str(tmp_path / "cache")
+        cache = TrialCache(root)
+        with collecting_snapshots() as cold_sink:
+            cold = run_grid(specs, jobs=1, cache=cache)
+        self._truncate(cache._path(specs[0].key()))
+        fresh = TrialCache(root)
+        with collecting_snapshots() as sink:
+            again = run_grid(specs, jobs=1, cache=fresh)
+        assert fresh.stats() == {"hits": 0, "misses": 1}
+        assert _canon(again) == _canon(cold)
+        assert _canon(sink.snapshots) == _canon(cold_sink.snapshots)
