@@ -21,13 +21,47 @@ from repro.pipelines import common
 from repro.pipelines.astro import reference as ref
 from repro.pipelines.astro.staging import DEFAULT_BUCKET, exposure_key
 from repro.plan.astro import astro_plan
-from repro.plan.ir import provenance_id
+from repro.plan.ir import fused_members, provenance_id
 from repro.plan.memo import materialize_scope, visit_token
 
 
 def _pid(op_id):
     """Provenance id of an astro-plan op."""
     return provenance_id("astro", op_id)
+
+
+def _compose(entries):
+    """Compose fused-carrier member kernels into one delayed function.
+
+    ``entries`` is a list of ``(fn, cost_fn)`` member pairs.  A single
+    member passes through untouched (the naive plan's graph must stay
+    byte-identical).  For a real fusion the composed function runs the
+    members back to back, accumulating each member's simulated cost on
+    its *own* inputs into a cell; the composed cost function reads the
+    cell (miniDask evaluates ``cost`` after ``fn``, same idiom as the
+    Spark scheduler's fused narrow stages).
+    """
+    if len(entries) == 1:
+        return entries[0]
+    cell = {"cost": 0.0}
+
+    def composed(*args):
+        cell["cost"] = 0.0
+        value = None
+        for index, (fn, cost) in enumerate(entries):
+            call_args = args if index == 0 else (value,)
+            if cost is not None:
+                cell["cost"] += cost(*call_args)
+            value = fn(*call_args)
+        return value
+
+    def composed_cost(*args):
+        return cell["cost"]
+
+    composed.__name__ = "+".join(
+        getattr(fn, "__name__", "fn") for fn, _ in entries
+    )
+    return composed, composed_cost
 
 
 def run(client, visits, bucket=DEFAULT_BUCKET, grid=None, plan=None):
@@ -55,28 +89,39 @@ def run(client, visits, bucket=DEFAULT_BUCKET, grid=None, plan=None):
         nbytes = store.size_of(bucket, exposure_key(visit_id, sensor_id))
         return client.cluster.network.s3_download_time(nbytes, n_objects=1)
 
-    fetch_delayed = {}
-    for index, exposure in enumerate(exposures):
-        workers = nodes[index % len(nodes)]
-        fetch_delayed[(exposure.visit_id, exposure.sensor_id)] = client.delayed(
-            fetch, cost=fetch_cost, workers=workers, op=_pid("exposures")
-        )(exposure.visit_id, exposure.sensor_id)
-
-    preprocess = client.delayed(
-        ref.preprocess_exposure, cost=common.preprocess_cost(cm),
-        op=_pid("preprocess"),
-    )
-    calibrated = {key: preprocess(d) for key, d in fetch_delayed.items()}
-
     def pieces_for(exposure):
         return dict(ref.patch_pieces(exposure, grid, pixel_scale))
 
-    pieces = {
-        key: client.delayed(
-            pieces_for, cost=common.patch_map_cost(cm), op=_pid("patches")
-        )(d)
-        for key, d in calibrated.items()
+    # The scan -> patches prefix is where the optimizer may have fused
+    # narrow ops into carriers (one delayed node per exposure instead of
+    # one per member).  Walk the prefix carrier by carrier; on the naive
+    # plan every carrier has one member and this builds exactly the
+    # historical graph.
+    kernels = {
+        "exposures": (fetch, fetch_cost),
+        "preprocess": (ref.preprocess_exposure, common.preprocess_cost(cm)),
+        "patches": (pieces_for, common.patch_map_cost(cm)),
     }
+
+    current = {}
+    for carrier in plan.chain("exposures", "patches"):
+        members = fused_members(carrier)
+        entries = [kernels[m.op_id] for m in members]
+        pid = _pid(carrier.op_id)
+        if members[0].op_id == "exposures":
+            for index, exposure in enumerate(exposures):
+                workers = nodes[index % len(nodes)]
+                fn, cost = _compose(entries)
+                current[(exposure.visit_id, exposure.sensor_id)] = client.delayed(
+                    fn, cost=cost, workers=workers, op=pid
+                )(exposure.visit_id, exposure.sensor_id)
+        else:
+            staged = {}
+            for key, d in current.items():
+                fn, cost = _compose(entries)
+                staged[key] = client.delayed(fn, cost=cost, op=pid)(d)
+            current = staged
+    pieces = current
 
     # The (patch, visit) -> contributing exposures map is known from
     # geometry, so the stitch graph is built without a barrier.
@@ -149,7 +194,9 @@ class LoweredAstro:
     def __init__(self, plan, client):
         self.plan = plan
         self.client = client
-        self.bucket = plan.op("exposures").param("bucket")
+        # member_param resolves through fused carriers (the optimizer
+        # may have folded the scan into one).
+        self.bucket = plan.member_param("exposures", "bucket")
 
     def run(self, visits, grid=None):
         return run(

@@ -269,7 +269,7 @@ class LoweredNeuro:
     def __init__(self, plan, client):
         self.plan = plan
         self.client = client
-        self.bucket = plan.op("volumes").param("bucket")
+        self.bucket = plan.member_param("volumes", "bucket")
         self.n_blocks = plan.param("n_blocks")
 
     def download_and_filter(self, subject, workers=None):

@@ -33,7 +33,7 @@ def pipeline_query(plan):
     for op_id, kind in (("preprocess", "map"), ("patches", "flat_map"),
                         ("stitch", "group_by"), ("coadd", "group_by"),
                         ("detect", "map"), ("sources", "materialize")):
-        if plan.op(op_id).kind != kind:
+        if plan.member(op_id).kind != kind:
             raise NotImplementedError(f"myria lowering: missing {op_id}")
     return _lines(
         "E = SCAN(Exposures);",
@@ -277,7 +277,7 @@ class LoweredAstro:
     def __init__(self, plan, conn):
         self.plan = plan
         self.conn = conn
-        self.bucket = plan.op("exposures").param("bucket")
+        self.bucket = plan.member_param("exposures", "bucket")
         self.pipeline_query = pipeline_query(plan)
 
     def run(self, visits, mode="pipelined", chunks=1, grid=None, source="s3"):

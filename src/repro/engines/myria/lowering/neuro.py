@@ -44,7 +44,7 @@ _SCAN_IMAGES = "T1 = SCAN(Images);"
 def _b0_select(plan, columns):
     """Lower the ``b0`` filter: the predicate pushes down to the scalar
     ``b0flag`` column the loader precomputes."""
-    op = plan.op("b0")
+    op = plan.member("b0")
     if op.kind != "filter" or op.param("predicate") != "is_b0":
         raise NotImplementedError(f"myria lowering: unexpected filter {op}")
     cols = ", ".join("T1." + c for c in columns)
@@ -57,7 +57,7 @@ def mask_query(plan):
     materialization lowered to a ``STORE``."""
     for op_id, kind in (("mean_b0", "group_by"), ("otsu", "map"),
                         ("masks", "materialize")):
-        if plan.op(op_id).kind != kind:
+        if plan.member(op_id).kind != kind:
             raise NotImplementedError(f"myria lowering: missing {op_id}")
     return _lines(
         _SCAN_IMAGES,
@@ -77,7 +77,7 @@ def filter_query(plan):
 
 def mean_query(plan):
     """Figure 12b's step: ``b0 -> mean_b0`` as ``UDA(MeanVol)``."""
-    if plan.op("mean_b0").param("agg") != "mean_volume":
+    if plan.member("mean_b0").param("agg") != "mean_volume":
         raise NotImplementedError("myria lowering: unexpected mean agg")
     return _lines(
         _SCAN_IMAGES,
@@ -89,9 +89,9 @@ def mean_query(plan):
 def pipeline_query(plan):
     """Query 2: ``denoise -> repart -> regroup+fitmodel``, starting from
     the broadcast join that realizes the plan's ``mask_bcast`` op."""
-    if plan.op("denoise").uses != ("mask_bcast",):
+    if plan.member("denoise").uses != ("mask_bcast",):
         raise NotImplementedError("myria lowering: denoise must use the mask")
-    if plan.op("regroup").param("key") != ("subject", "block"):
+    if plan.member("regroup").param("key") != ("subject", "block"):
         raise NotImplementedError("myria lowering: unexpected regroup key")
     return _lines(
         _SCAN_IMAGES,
@@ -343,7 +343,7 @@ class LoweredNeuro:
     def __init__(self, plan, conn):
         self.plan = plan
         self.conn = conn
-        self.bucket = plan.op("volumes").param("bucket")
+        self.bucket = plan.member_param("volumes", "bucket")
         self.n_blocks = plan.param("n_blocks")
         self.mask_query = mask_query(plan)
         self.pipeline_query = pipeline_query(plan)

@@ -86,7 +86,7 @@ class LoweredAstro(ChainWalker):
     # -- step entry points ---------------------------------------------
 
     def scan(self, partitions=None, cache=False):
-        op = self.plan.op("exposures")
+        op = self.plan.member("exposures")
         rdd = self.sc.s3_objects(op.param("bucket"), numPartitions=partitions)
         rdd.plan_op = self.plan.provenance("exposures")
         if cache:
@@ -106,7 +106,7 @@ class LoweredAstro(ChainWalker):
         self.group_partitions = group_partitions
 
         exp_rdd = self.scan(partitions=input_partitions)
-        bucket = self.plan.op("exposures").param("bucket")
+        bucket = self.plan.member_param("exposures", "bucket")
         with materialize_scope(
             self.sc.cluster, self.plan, "sources", "spark",
             extra=lambda: {
@@ -121,7 +121,7 @@ class LoweredAstro(ChainWalker):
             },
         ):
             results = self.lower_chain(
-                exp_rdd, self.plan.chain("preprocess", "sources")
+                exp_rdd, self.plan.expanded_chain("preprocess", "sources")
             ).collect()
 
         coadds = {patch: coadd_img for patch, (coadd_img, _s) in results}

@@ -158,7 +158,7 @@ class LoweredNeuro(ChainWalker):
     def scan(self, partitions=None, cache=False):
         """Lower the ``volumes`` scan: the staged-volume RDD; records are
         SizedArray volumes with subject/image metadata."""
-        op = self.plan.op("volumes")
+        op = self.plan.member("volumes")
         rdd = self.sc.s3_objects(op.param("bucket"), numPartitions=partitions)
         rdd.plan_op = self.plan.provenance("volumes")
         if cache:
@@ -168,7 +168,7 @@ class LoweredNeuro(ChainWalker):
     def _input_token(self, img_rdd, gtabs):
         """Descriptor of the staged volumes + gradient tables feeding a
         window, plus the RDD knobs that change its task structure."""
-        bucket = self.plan.op("volumes").param("bucket")
+        bucket = self.plan.member_param("volumes", "bucket")
         scheduler = self.sc.scheduler
         return {
             "bucket": bucket,
@@ -192,7 +192,7 @@ class LoweredNeuro(ChainWalker):
             extra=lambda: self._input_token(img_rdd, gtabs),
         ):
             masks_rdd = self.lower_chain(
-                img_rdd, self.plan.chain("b0", "masks")
+                img_rdd, self.plan.expanded_chain("b0", "masks")
             )
             return dict(masks_rdd.collect())
 
@@ -216,7 +216,7 @@ class LoweredNeuro(ChainWalker):
             ),
         ):
             models = self.lower_chain(
-                img_rdd, self.plan.chain("denoise", "fa")
+                img_rdd, self.plan.expanded_chain("denoise", "fa")
             )
             blocks = models.collect()
 
@@ -240,27 +240,44 @@ class LoweredNeuro(ChainWalker):
 
 
 # -- hand-written-era API, now plan-backed -----------------------------
+#
+# The micro-benchmark helpers (fig 11/12) lower from *plan fragments*
+# (repro.plan.fragments): the ancestor closure of the measured op,
+# carved out of the full plan.  Fragments keep the plan name and params,
+# so provenance ids and lowered task structure are byte-identical to
+# lowering the same window out of the full pipeline.
 
 
-def _lowered(sc, n_blocks=DEFAULT_BLOCKS, bucket=DEFAULT_BUCKET):
-    return LoweredNeuro(neuro_plan(n_blocks=n_blocks, bucket=bucket), sc)
+def _lowered(sc, n_blocks=DEFAULT_BLOCKS, bucket=DEFAULT_BUCKET, plan=None):
+    if plan is None:
+        plan = neuro_plan(n_blocks=n_blocks, bucket=bucket)
+    return LoweredNeuro(plan, sc)
 
 
-def build_image_rdd(sc, partitions=None, bucket=DEFAULT_BUCKET, cache=False):
-    return _lowered(sc, bucket=bucket).scan(partitions=partitions, cache=cache)
+def build_image_rdd(sc, partitions=None, bucket=DEFAULT_BUCKET, cache=False,
+                    plan=None):
+    from repro.plan.fragments import neuro_scan_fragment
+
+    if plan is None:
+        plan = neuro_scan_fragment(bucket=bucket)
+    return _lowered(sc, plan=plan).scan(partitions=partitions, cache=cache)
 
 
-def filter_b0(sc, img_rdd, gtabs):
+def filter_b0(sc, img_rdd, gtabs, plan=None):
     """Figure 12a's step: select the non-diffusion-weighted volumes."""
-    low = _lowered(sc)
+    from repro.plan.fragments import neuro_filter_fragment
+
+    low = _lowered(sc, plan=plan or neuro_filter_fragment())
     low.gtabs = gtabs
-    return low.lower_chain(img_rdd, low.plan.chain("b0", "b0"))
+    return low.lower_chain(img_rdd, low.plan.expanded_chain("b0", "b0"))
 
 
-def mean_b0(sc, b0_rdd):
+def mean_b0(sc, b0_rdd, plan=None):
     """Figure 12b's step: per-subject mean volume via reduceByKey."""
-    low = _lowered(sc)
-    return low.lower_chain(b0_rdd, low.plan.chain("mean_b0", "mean_b0"))
+    from repro.plan.fragments import neuro_mean_fragment
+
+    low = _lowered(sc, plan=plan or neuro_mean_fragment())
+    return low.lower_chain(b0_rdd, low.plan.expanded_chain("mean_b0", "mean_b0"))
 
 
 def segmentation(sc, img_rdd, gtabs):

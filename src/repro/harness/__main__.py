@@ -7,6 +7,9 @@ Usage::
     python -m repro.harness fig10c --quick --jobs 4
     python -m repro.harness all --quick
     python -m repro.harness trace neuro --engine spark --out trace.json
+    python -m repro.harness fig10c --quick --optimize --route auto
+    python -m repro.harness optimize --quick --check
+    python -m repro.harness ledger --optimize --quick
     python -m repro.harness ledger fig12c --quick
     python -m repro.harness ledger --figure fig10c --jobs 4 --quick
     python -m repro.harness compare benchmarks/ledger/fig12c-quick.json new.json
@@ -73,23 +76,33 @@ def _run_fig10b(_quick):
     print_table(E.fig10b_sizes(), title="Figure 10b: astro data sizes (GB)")
 
 
-def _run_fig10c(quick):
+def _run_fig10c(quick, optimize=False, route=None):
+    kwargs = {"optimize": optimize}
+    if route == "auto":
+        kwargs["engines"] = ("auto",)
     rows = E.fig10c_neuro_end_to_end(
         subject_counts=(1, 2, 4) if quick else E.NEURO_SIZES,
         profile=QUICK_NEURO if quick else None,
+        **kwargs,
     )
+    suffix = " [optimized]" if optimize else ""
     print_series(rows, "subjects", "engine",
-                 title="Figure 10c: neuro end-to-end (simulated s)")
+                 title=f"Figure 10c: neuro end-to-end (simulated s){suffix}")
     return rows
 
 
-def _run_fig10d(quick):
+def _run_fig10d(quick, optimize=False, route=None):
+    kwargs = {"optimize": optimize}
+    if route == "auto":
+        kwargs["engines"] = ("auto",)
     rows = E.fig10d_astro_end_to_end(
         visit_counts=(2, 4) if quick else E.ASTRO_SIZES,
         profile=QUICK_ASTRO if quick else None,
+        **kwargs,
     )
+    suffix = " [optimized]" if optimize else ""
     print_series(rows, "visits", "engine",
-                 title="Figure 10d: astro end-to-end (simulated s)")
+                 title=f"Figure 10d: astro end-to-end (simulated s){suffix}")
     return rows
 
 
@@ -232,6 +245,36 @@ def _run_f16(quick):
     return rows
 
 
+def _run_opt(quick):
+    rows = E.opt_comparison(
+        n_subjects=2 if quick else 4,
+        n_visits=2 if quick else 4,
+        neuro_profile=QUICK_NEURO if quick else None,
+        astro_profile=QUICK_ASTRO if quick else None,
+    )
+    print_table(
+        rows, title="Optimizer: naive vs optimized per (pipeline, engine)"
+    )
+    return rows
+
+
+def _opt_failures(rows):
+    """Gate violations in naive-vs-optimized comparison rows."""
+    failures = []
+    for row in rows:
+        cell = f"{row['pipeline']}/{row['engine']}"
+        if row["optimized_s"] > row["naive_s"] + 1e-6:
+            failures.append(
+                f"{cell}: optimized makespan {row['optimized_s']}s exceeds"
+                f" naive {row['naive_s']}s"
+            )
+        if not row["identical"]:
+            failures.append(
+                f"{cell}: optimized results are not byte-identical to naive"
+            )
+    return failures
+
+
 def _run_ablation(quick):
     rows = E.ablation_scidb_incremental(
         n_visits=4 if quick else 24,
@@ -275,6 +318,7 @@ EXPERIMENTS = {
     "fig14": _run_fig14,
     "fig15": _run_fig15,
     "f16": _run_f16,
+    "opt": _run_opt,
     "s531": _run_s531,
     "s533": _run_s533,
     "ablation": _run_ablation,
@@ -441,6 +485,117 @@ def build_experiment_snapshot(name, quick=True):
     return experiment_snapshot(name, runs, quick=quick, scale=scale)
 
 
+def _optimize_main(argv):
+    """``python -m repro.harness optimize`` entry point.
+
+    Explains the query compiler: per-(pipeline, engine) rule firing
+    traces with estimated savings, the cost table behind the router's
+    decision, and — with ``--check`` — an executed naive-vs-optimized
+    comparison of every cell that gates on the two invariants
+    (non-increasing makespan, byte-identical results).
+    """
+    from repro.plan import astro_plan, choose_engine, neuro_plan, optimize_for
+    from repro.plan import route as R
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness optimize",
+        description="Explain the rewrite-rule optimizer and the"
+        " cost-based engine router; optionally verify both invariants"
+        " by running every cell naive and optimized.",
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="miniature dataset profiles")
+    parser.add_argument("--subjects", type=int, default=None,
+                        help="neuro workload size (default 2 quick / 4)")
+    parser.add_argument("--visits", type=int, default=None,
+                        help="astro workload size (default 2 quick / 4)")
+    parser.add_argument("--nodes", type=int, default=DEFAULT_NODES,
+                        help="cluster size the estimates assume")
+    parser.add_argument("--engines", default="dask,myria,spark",
+                        help="comma-separated engines to trace/check")
+    parser.add_argument("--check", action="store_true",
+                        help="execute every (pipeline, engine) cell naive"
+                        " and optimized; non-zero exit on a makespan"
+                        " regression or a result byte-diff")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for --check trials")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the content-addressed trial cache")
+    args = parser.parse_args(argv)
+
+    n_subjects = args.subjects or (2 if args.quick else 4)
+    n_visits = args.visits or (2 if args.quick else 4)
+    engines = tuple(e.strip() for e in args.engines.split(",") if e.strip())
+    subjects = neuro_subjects(n_subjects,
+                              **(QUICK_NEURO if args.quick else {}))
+    visits = astro_visits(n_visits, **(QUICK_ASTRO if args.quick else {}))
+    workloads = (
+        ("neuro", neuro_plan(), R.neuro_profile(subjects)),
+        ("astro", astro_plan(), R.astro_profile(visits)),
+    )
+
+    print("Rule firing trace (per-engine calibrated cost guards)")
+    for pipeline, plan, prof in workloads:
+        for engine in engines:
+            result = optimize_for(plan, engine, profile=prof)
+            naive_est = R.estimate_plan_cost(
+                plan, engine, profile=prof, n_nodes=args.nodes
+            ).total
+            opt_est = R.estimate_plan_cost(
+                result.plan, engine, profile=prof, n_nodes=args.nodes
+            ).total
+            print(f"  {pipeline}/{engine}: estimated {naive_est:.1f}s"
+                  f" -> {opt_est:.1f}s, {len(result.firings)} rewrite(s)"
+                  f" in {result.passes} pass(es)"
+                  f" [fingerprint {result.fingerprint()[:12]}]")
+            for firing in result.firings:
+                saving = (f", est. -{firing.saving:.3f}s"
+                          if firing.saving is not None else "")
+                print(f"    pass {firing.pass_no} {firing.rule}:"
+                      f" {firing.detail}{saving}")
+            if not result.firings:
+                print("    (no rewrites accepted: every candidate was"
+                      " cost-neutral or worse on this engine)")
+
+    print("\nRouter decisions (Table-1 constraints + cheapest estimate)")
+    for pipeline, plan, prof in workloads:
+        decision = choose_engine(plan, prof, n_nodes=args.nodes)
+        print_table(
+            [dict({"pipeline": pipeline}, **row)
+             for row in decision.as_rows()],
+            title=f"{pipeline}: routed to {decision.engine}",
+        )
+
+    if not args.check:
+        return 0
+
+    from repro.obs import format_opt_comparison
+    from repro.obs.ledger import experiment_snapshot
+
+    cache = None if args.no_cache else TrialCache()
+    with configured(jobs=args.jobs, cache=cache), \
+            collecting_snapshots() as collected:
+        rows = E.opt_comparison(
+            n_subjects=n_subjects, n_visits=n_visits, n_nodes=args.nodes,
+            neuro_profile=QUICK_NEURO if args.quick else None,
+            astro_profile=QUICK_ASTRO if args.quick else None,
+            engines=engines,
+        )
+    print()
+    print_table(rows, title="Executed naive vs optimized (simulated s)")
+    runs = [dict(s, label=f"{i:02d}-{s['label']}")
+            for i, s in enumerate(collected.snapshots)]
+    print()
+    print(format_opt_comparison(experiment_snapshot("opt", runs)))
+    failures = _opt_failures(rows)
+    for failure in failures:
+        print(f"optimize check: {failure}", file=sys.stderr)
+    if not failures:
+        print("\noptimize check: all cells non-increasing and"
+              " byte-identical")
+    return 1 if failures else 0
+
+
 def _ledger_main(argv):
     """``python -m repro.harness ledger <experiment...>`` entry point."""
     import contextlib
@@ -462,6 +617,10 @@ def _ledger_main(argv):
     parser.add_argument("--quick", action="store_true",
                         help="miniature datasets (the checked-in baselines"
                         " use this)")
+    parser.add_argument("--optimize", action="store_true",
+                        help="also run the naive-vs-optimized comparison"
+                        " ('opt' snapshot) and fail on a makespan"
+                        " regression or a result byte-diff")
     parser.add_argument("--out-dir", default="benchmarks/ledger",
                         help="directory snapshots are written into")
     parser.add_argument("--jobs", type=int, default=1,
@@ -472,9 +631,13 @@ def _ledger_main(argv):
     args = parser.parse_args(argv)
 
     requested = list(args.experiments) + list(args.figures)
+    if not requested and args.optimize:
+        requested = ["opt"]
     if not requested:
         parser.error("no experiments given (positional ids or --figure)")
     names = list(EXPERIMENTS) if requested == ["all"] else requested
+    if args.optimize and "opt" not in names:
+        names.append("opt")
     for name in names:
         if name not in EXPERIMENTS:
             parser.error(
@@ -482,6 +645,7 @@ def _ledger_main(argv):
             )
     os.makedirs(args.out_dir, exist_ok=True)
     cache = None if args.no_cache else TrialCache()
+    failures = []
     with configured(jobs=args.jobs, cache=cache):
         for name in names:
             with contextlib.redirect_stdout(sys.stderr):
@@ -493,10 +657,27 @@ def _ledger_main(argv):
                 f"wrote {path} (makespan {snapshot['total_makespan_s']:.1f}s,"
                 f" {len(snapshot['runs'])} run(s))"
             )
+            if name == "opt" and args.optimize:
+                from repro.obs import format_opt_comparison
+
+                print(format_opt_comparison(snapshot))
+                # Replays from the trial cache the figure just filled;
+                # the rows carry the per-cell digests the byte-identity
+                # gate needs (snapshots only record makespans).
+                with contextlib.redirect_stdout(sys.stderr):
+                    rows = E.opt_comparison(
+                        n_subjects=2 if args.quick else 4,
+                        n_visits=2 if args.quick else 4,
+                        neuro_profile=QUICK_NEURO if args.quick else None,
+                        astro_profile=QUICK_ASTRO if args.quick else None,
+                    )
+                failures.extend(_opt_failures(rows))
     if cache is not None and (cache.hits or cache.misses):
         print(f"trial cache: {cache.hits} hit(s), {cache.misses} miss(es)",
               file=sys.stderr)
-    return 0
+    for failure in failures:
+        print(f"ledger --optimize: {failure}", file=sys.stderr)
+    return 1 if failures else 0
 
 
 def _compare_main(argv):
@@ -889,6 +1070,8 @@ def main(argv=None):
         argv = sys.argv[1:]
     if argv and argv[0] == "trace":
         return _trace_main(argv[1:])
+    if argv and argv[0] == "optimize":
+        return _optimize_main(argv[1:])
     if argv and argv[0] == "ledger":
         return _ledger_main(argv[1:])
     if argv and argv[0] == "compare":
@@ -907,6 +1090,15 @@ def main(argv=None):
                         help="list experiment ids and exit")
     parser.add_argument("--quick", action="store_true",
                         help="miniature datasets (seconds instead of minutes)")
+    parser.add_argument("--optimize", action="store_true",
+                        help="run plans through the rewrite-rule optimizer"
+                        " before lowering (figures with end-to-end plans:"
+                        " fig10c, fig10d; results stay byte-identical and"
+                        " cache entries are separately keyed)")
+    parser.add_argument("--route", choices=("auto",), default=None,
+                        help="'auto' resolves each end-to-end cell's engine"
+                        " through the cost-based router instead of the"
+                        " figure's fixed engine list")
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker processes for independent trials"
                         " (results are byte-identical to --jobs 1)")
@@ -925,10 +1117,22 @@ def main(argv=None):
             parser.error(
                 f"unknown experiment {name!r}; use --list to see choices"
             )
+    import inspect
+
     cache = None if args.no_cache else TrialCache()
     with configured(jobs=args.jobs, cache=cache):
         for name in names:
-            EXPERIMENTS[name](args.quick)
+            fn = EXPERIMENTS[name]
+            accepted = inspect.signature(fn).parameters
+            kwargs = {}
+            if args.optimize and "optimize" in accepted:
+                kwargs["optimize"] = True
+            if args.route and "route" in accepted:
+                kwargs["route"] = args.route
+            if (args.optimize or args.route) and not kwargs and name != "opt":
+                print(f"note: {name} has no optimizer/router variant;"
+                      " running unchanged", file=sys.stderr)
+            fn(args.quick, **kwargs)
             print()
     return 0
 

@@ -90,16 +90,34 @@ def fig10b_sizes():
 # End-to-end runners (shared by Figures 10c-10h, 13, 14, §5.3.3)
 # ----------------------------------------------------------------------
 
-def run_neuro_end_to_end(kind, subjects, n_nodes=DEFAULT_NODES, **tuning):
-    """One tuned end-to-end neuroscience trial; returns simulated secs.
+def _routed(kind, plan_fn, profile_fn, data, n_nodes):
+    """Resolve ``kind == "auto"`` through the cost-based router."""
+    if kind != "auto":
+        return kind
+    from repro.plan import choose_engine
 
-    Starts "with data stored in Amazon S3", executes all steps, and
-    materializes output in worker memory (Section 5.1).  Staging time
-    is excluded (data was staged ahead of the experiment).
+    return choose_engine(
+        plan_fn(), profile_fn(data), n_nodes=n_nodes
+    ).engine
+
+
+def _neuro_end_to_end(kind, subjects, n_nodes=DEFAULT_NODES, optimize=False,
+                      run_label=None, **tuning):
+    """One end-to-end neuro trial; returns ``(seconds, results, opt)``.
+
+    ``optimize`` routes the plan through :func:`repro.plan.optimize_for`
+    under the engine's calibrated cost guard before lowering (``opt`` is
+    the :class:`~repro.plan.opt.OptimizationResult`, or ``None`` on the
+    naive path).  ``kind == "auto"`` resolves through the router first.
     """
+    from repro.plan.route import neuro_profile
+
+    kind = _routed(kind, neuro_plan, neuro_profile, subjects, n_nodes)
     cluster, engine = fresh_engine(
         kind, n_nodes=n_nodes, workers_per_node=tuning.pop("workers_per_node", None)
     )
+    if run_label:
+        cluster.run_label = run_label
     stage_subjects(cluster.object_store, subjects)
     watch = Stopwatch(cluster)
     if kind == "spark":
@@ -111,15 +129,38 @@ def run_neuro_end_to_end(kind, subjects, n_nodes=DEFAULT_NODES, **tuning):
         raise ValueError(f"no end-to-end neuroscience runner for {kind!r}")
     plan_kwargs = {k: tuning.pop(k) for k in ("n_blocks", "bucket")
                    if k in tuning}
-    lower(neuro_plan(**plan_kwargs), kind, engine).run(subjects, **tuning)
-    return watch.lap()
+    plan = neuro_plan(**plan_kwargs)
+    opt = None
+    if optimize:
+        from repro.plan import optimize_for
+
+        opt = optimize_for(plan, kind, profile=neuro_profile(subjects))
+        plan = opt.plan
+    results = lower(plan, kind, engine).run(subjects, **tuning)
+    return watch.lap(), results, opt
 
 
-def run_astro_end_to_end(kind, visits, n_nodes=DEFAULT_NODES, **tuning):
-    """One tuned end-to-end astronomy trial; returns simulated seconds."""
+def run_neuro_end_to_end(kind, subjects, n_nodes=DEFAULT_NODES, **tuning):
+    """One tuned end-to-end neuroscience trial; returns simulated secs.
+
+    Starts "with data stored in Amazon S3", executes all steps, and
+    materializes output in worker memory (Section 5.1).  Staging time
+    is excluded (data was staged ahead of the experiment).
+    """
+    return _neuro_end_to_end(kind, subjects, n_nodes=n_nodes, **tuning)[0]
+
+
+def _astro_end_to_end(kind, visits, n_nodes=DEFAULT_NODES, optimize=False,
+                      run_label=None, **tuning):
+    """One end-to-end astro trial; returns ``(seconds, results, opt)``."""
+    from repro.plan.route import astro_profile
+
+    kind = _routed(kind, astro_plan, astro_profile, visits, n_nodes)
     cluster, engine = fresh_engine(
         kind, n_nodes=n_nodes, workers_per_node=tuning.pop("workers_per_node", None)
     )
+    if run_label:
+        cluster.run_label = run_label
     stage_visits(cluster.object_store, visits)
     watch = Stopwatch(cluster)
     if kind == "spark":
@@ -129,8 +170,164 @@ def run_astro_end_to_end(kind, visits, n_nodes=DEFAULT_NODES, **tuning):
     elif kind != "dask":
         raise ValueError(f"no end-to-end astronomy runner for {kind!r}")
     plan_kwargs = {k: tuning.pop(k) for k in ("bucket",) if k in tuning}
-    lower(astro_plan(**plan_kwargs), kind, engine).run(visits, **tuning)
-    return watch.lap()
+    plan = astro_plan(**plan_kwargs)
+    opt = None
+    if optimize:
+        from repro.plan import optimize_for
+
+        opt = optimize_for(plan, kind, profile=astro_profile(visits))
+        plan = opt.plan
+    results = lower(plan, kind, engine).run(visits, **tuning)
+    return watch.lap(), results, opt
+
+
+def run_astro_end_to_end(kind, visits, n_nodes=DEFAULT_NODES, **tuning):
+    """One tuned end-to-end astronomy trial; returns simulated seconds."""
+    return _astro_end_to_end(kind, visits, n_nodes=n_nodes, **tuning)[0]
+
+
+# ----------------------------------------------------------------------
+# Optimizer: naive-vs-optimized comparison cells and routing table
+# ----------------------------------------------------------------------
+
+def _feed_digest(digest, value):
+    """Feed one result structure into a hash, arrays by content."""
+    array = getattr(value, "array", None)
+    if array is not None:  # SizedArray
+        _feed_digest(digest, array)
+        digest.update(repr(tuple(value.nominal_shape)).encode())
+        return
+    if isinstance(value, np.ndarray):
+        digest.update(str(value.dtype).encode())
+        digest.update(str(value.shape).encode())
+        digest.update(value.tobytes())
+        return
+    if isinstance(value, dict):
+        for key in sorted(value, key=repr):
+            digest.update(repr(key).encode())
+            _feed_digest(digest, value[key])
+        return
+    if isinstance(value, (list, tuple)):
+        for item in value:
+            _feed_digest(digest, item)
+        return
+    if isinstance(value, bytes):
+        digest.update(value)
+        return
+    digest.update(repr(value).encode())
+
+
+def result_digest(value):
+    """Stable content digest of a pipeline's materialized results."""
+    import hashlib
+
+    digest = hashlib.sha256()
+    _feed_digest(digest, value)
+    return digest.hexdigest()[:16]
+
+
+def optimize_token(pipeline, kind, count, profile, n_nodes=DEFAULT_NODES):
+    """Fingerprint of the optimization a cell would run under.
+
+    This is the value carried in the trial params when ``optimize`` is
+    requested, so optimized runs are content-addressed by the exact
+    optimizer outcome (rule catalog, guard constants, plan shape) in
+    the trial cache — never colliding with naive entries or with stale
+    optimizer builds.  Truthy, so trial bodies treat it as the
+    ``optimize`` flag itself.
+    """
+    from repro.plan import optimize_for
+    from repro.plan.route import astro_profile, neuro_profile
+
+    if pipeline == "neuro":
+        data = neuro_subjects(count, **profile)
+        return optimize_for(
+            neuro_plan(), kind, profile=neuro_profile(data)
+        ).fingerprint()
+    data = astro_visits(count, **profile)
+    return optimize_for(
+        astro_plan(), kind, profile=astro_profile(data)
+    ).fingerprint()
+
+
+@trial("optcell")
+def _trial_optcell(pipeline, kind, count, n_nodes, profile):
+    """Run one (pipeline, engine) cell naive then optimized.
+
+    Both runs execute on fresh clusters over the same staged dataset;
+    the row records both makespans, whether the materialized results
+    are byte-identical, and the optimizer's firing trace.  This is the
+    cell the `harness optimize --check` / `ledger --optimize` gates
+    assert over: ``optimized_s <= naive_s`` and ``identical``.
+    """
+    run = _neuro_end_to_end if pipeline == "neuro" else _astro_end_to_end
+    data = (neuro_subjects(count, **profile) if pipeline == "neuro"
+            else astro_visits(count, **profile))
+    naive_s, naive_out, _ = run(
+        kind, data, n_nodes=n_nodes, run_label=f"{pipeline}-{kind}-naive"
+    )
+    opt_s, opt_out, opt = run(
+        kind, data, n_nodes=n_nodes, optimize=True,
+        run_label=f"{pipeline}-{kind}-optimized",
+    )
+    return {
+        "pipeline": pipeline,
+        "engine": kind,
+        "naive_s": round(naive_s, 3),
+        "optimized_s": round(opt_s, 3),
+        "saved_s": round(naive_s - opt_s, 3),
+        "identical": result_digest(naive_out) == result_digest(opt_out),
+        "digest": result_digest(naive_out),
+        "rules": "; ".join(f.detail for f in opt.firings) or "(no rewrites)",
+        "fingerprint": opt.fingerprint(),
+    }
+
+
+def opt_comparison(n_subjects=2, n_visits=2, n_nodes=DEFAULT_NODES,
+                   neuro_profile=None, astro_profile=None,
+                   engines=("dask", "myria", "spark")):
+    """Naive-vs-optimized cells for every (pipeline, engine) pair."""
+    neuro_profile = neuro_profile or NEURO_BENCH
+    astro_profile = astro_profile or ASTRO_BENCH
+    specs = [
+        TrialSpec(
+            "optcell",
+            {"pipeline": "neuro", "kind": kind, "count": n_subjects,
+             "n_nodes": n_nodes, "profile": dict(neuro_profile)},
+            engine=kind,
+        )
+        for kind in engines
+    ] + [
+        TrialSpec(
+            "optcell",
+            {"pipeline": "astro", "kind": kind, "count": n_visits,
+             "n_nodes": n_nodes, "profile": dict(astro_profile)},
+            engine=kind,
+        )
+        for kind in engines
+    ]
+    return grid_rows(specs)
+
+
+def routing_table(n_subjects=2, n_visits=2, n_nodes=DEFAULT_NODES,
+                  neuro_profile=None, astro_profile=None):
+    """Router decisions for both pipelines at the given workload sizes."""
+    from repro.plan import choose_engine
+    from repro.plan import route as R
+
+    neuro_profile = neuro_profile or NEURO_BENCH
+    astro_profile = astro_profile or ASTRO_BENCH
+    subjects = neuro_subjects(n_subjects, **neuro_profile)
+    visits = astro_visits(n_visits, **astro_profile)
+    rows = []
+    for pipeline, plan, prof in (
+        ("neuro", neuro_plan(), R.neuro_profile(subjects)),
+        ("astro", astro_plan(), R.astro_profile(visits)),
+    ):
+        decision = choose_engine(plan, prof, n_nodes=n_nodes)
+        for row in decision.as_rows():
+            rows.append(dict({"pipeline": pipeline}, **row))
+    return rows
 
 
 # ----------------------------------------------------------------------
@@ -138,25 +335,41 @@ def run_astro_end_to_end(kind, visits, n_nodes=DEFAULT_NODES, **tuning):
 # ----------------------------------------------------------------------
 
 @trial("fig10c")
-def _trial_fig10c(kind, count, n_nodes, profile):
+def _trial_fig10c(kind, count, n_nodes, profile, optimize=None):
     subjects = neuro_subjects(count, **profile)
-    return {
-        "engine": kind,
-        "subjects": count,
-        "simulated_s": run_neuro_end_to_end(kind, subjects, n_nodes=n_nodes),
-    }
+    seconds, _results, _opt = _neuro_end_to_end(
+        kind, subjects, n_nodes=n_nodes, optimize=bool(optimize)
+    )
+    row = {"engine": kind, "subjects": count, "simulated_s": seconds}
+    if optimize:
+        row["optimized"] = True
+    return row
 
 
 def fig10c_neuro_end_to_end(subject_counts=NEURO_SIZES,
                             engines=("dask", "myria", "spark"),
-                            n_nodes=DEFAULT_NODES, profile=None):
-    """Fig10c neuro end to end."""
+                            n_nodes=DEFAULT_NODES, profile=None,
+                            optimize=False):
+    """Fig10c neuro end to end.
+
+    With ``optimize`` every trial's plan passes through the optimizer
+    first; the trial params then carry the optimization fingerprint, so
+    optimized cells are separately keyed in the trial cache and the
+    naive entries (and their snapshots) stay byte-identical.
+    ``engines=("auto",)`` resolves each cell through the router.
+    """
     profile = profile or NEURO_BENCH
     return grid_rows(
         TrialSpec(
             "fig10c",
-            {"kind": kind, "count": count, "n_nodes": n_nodes,
-             "profile": dict(profile)},
+            dict(
+                {"kind": kind, "count": count, "n_nodes": n_nodes,
+                 "profile": dict(profile)},
+                **({"optimize": optimize_token(
+                    "neuro", kind, count, profile, n_nodes=n_nodes)}
+                   if optimize and kind != "auto"
+                   else {"optimize": True} if optimize else {}),
+            ),
             engine=kind,
         )
         for count in subject_counts
@@ -166,17 +379,25 @@ def fig10c_neuro_end_to_end(subject_counts=NEURO_SIZES,
 
 def fig10d_astro_end_to_end(visit_counts=ASTRO_SIZES,
                             engines=("myria", "spark"),
-                            n_nodes=DEFAULT_NODES, profile=None):
+                            n_nodes=DEFAULT_NODES, profile=None,
+                            optimize=False):
     """Dask is excluded to match the paper ("the implementation freezes
     once deployed on a cluster ... we do not report performance
     numbers", Section 4.4); pass engines=(..., "dask") to include our
-    working implementation anyway."""
+    working implementation anyway.  ``optimize`` and ``engines=
+    ("auto",)`` behave as in :func:`fig10c_neuro_end_to_end`."""
     profile = profile or ASTRO_BENCH
     return grid_rows(
         TrialSpec(
             "fig10d",
-            {"kind": kind, "count": count, "n_nodes": n_nodes,
-             "profile": dict(profile)},
+            dict(
+                {"kind": kind, "count": count, "n_nodes": n_nodes,
+                 "profile": dict(profile)},
+                **({"optimize": optimize_token(
+                    "astro", kind, count, profile, n_nodes=n_nodes)}
+                   if optimize and kind != "auto"
+                   else {"optimize": True} if optimize else {}),
+            ),
             engine=kind,
         )
         for count in visit_counts
@@ -185,13 +406,15 @@ def fig10d_astro_end_to_end(visit_counts=ASTRO_SIZES,
 
 
 @trial("fig10d")
-def _trial_fig10d(kind, count, n_nodes, profile):
+def _trial_fig10d(kind, count, n_nodes, profile, optimize=None):
     visits = astro_visits(count, **profile)
-    return {
-        "engine": kind,
-        "visits": count,
-        "simulated_s": run_astro_end_to_end(kind, visits, n_nodes=n_nodes),
-    }
+    seconds, _results, _opt = _astro_end_to_end(
+        kind, visits, n_nodes=n_nodes, optimize=bool(optimize)
+    )
+    row = {"engine": kind, "visits": count, "simulated_s": seconds}
+    if optimize:
+        row["optimized"] = True
+    return row
 
 
 def normalized_per_unit(rows, unit_key):
@@ -446,8 +669,14 @@ def _filter_once(system, subjects):
         neuro_myria.ingest(engine, subjects)
         watch = Stopwatch(cluster)
         from repro.engines.myria.connection import MyriaQuery
+        from repro.plan.fragments import neuro_filter_fragment
 
-        MyriaQuery.submit(engine, neuro_myria.FILTER_QUERY)
+        # Emit the step's MyriaL from its plan fragment (identical text
+        # to FILTER_QUERY — the emitter only consults ops the fragment
+        # keeps).
+        MyriaQuery.submit(
+            engine, neuro_myria.filter_query(neuro_filter_fragment())
+        )
         return watch.lap()
 
     if system == "dask":
@@ -536,8 +765,11 @@ def _mean_once(system, subjects):
         neuro_myria.register_udfs(engine, subjects)
         watch = Stopwatch(cluster)
         from repro.engines.myria.connection import MyriaQuery
+        from repro.plan.fragments import neuro_mean_fragment
 
-        MyriaQuery.submit(engine, neuro_myria.MEAN_QUERY)
+        MyriaQuery.submit(
+            engine, neuro_myria.mean_query(neuro_mean_fragment())
+        )
         return watch.lap()
 
     if system == "dask":

@@ -204,14 +204,18 @@ def _snapshot_cluster(cluster):
 
     The label deliberately omits any global index -- the parent adds
     the ``NN-`` prefix in merge order, so cached and freshly-computed
-    snapshots relabel identically.
+    snapshots relabel identically.  A trial that builds several
+    clusters for one row (the optimizer's naive-vs-optimized cells)
+    may pin an explicit ``cluster.run_label`` instead.
     """
     from repro.obs import run_snapshot
     from repro.obs.breakdown import records_of, summarize_records
 
-    groups = summarize_records(records_of(cluster))
-    top_group = groups[0]["group"] if groups else "empty"
-    return run_snapshot(cluster, label=top_group)
+    label = getattr(cluster, "run_label", None)
+    if label is None:
+        groups = summarize_records(records_of(cluster))
+        label = groups[0]["group"] if groups else "empty"
+    return run_snapshot(cluster, label=label)
 
 
 def _execute_trial(fn_name, kwargs, cost_constants, want_snapshots,

@@ -95,6 +95,12 @@ from repro.obs.ledger import (
     run_snapshot,
     write_snapshot,
 )
+from repro.obs.optledger import (
+    check_opt_snapshot,
+    format_opt_comparison,
+    opt_comparison_rows,
+    opt_pairs,
+)
 from repro.obs.spans import Observability, Span, SpanStore, TaskRecord
 from repro.obs.telemetry import (
     NULL_RECORDER,
@@ -143,6 +149,7 @@ __all__ = [
     "TaskStarted",
     "attribute_critical_path",
     "blame_category",
+    "check_opt_snapshot",
     "chrome_trace",
     "compare_snapshots",
     "compute_critical_path",
@@ -153,12 +160,15 @@ __all__ = [
     "format_compare",
     "format_critical_path",
     "format_op_table",
+    "format_opt_comparison",
     "group_of",
     "is_recovery_category",
     "load_snapshot",
     "node_utilization_rows",
     "op_table",
     "op_totals",
+    "opt_comparison_rows",
+    "opt_pairs",
     "recorder",
     "recording",
     "records_of",

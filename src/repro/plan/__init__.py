@@ -22,6 +22,21 @@ from repro.plan.ir import (
     provenance_id,
 )
 from repro.plan.neuro import neuro_plan
+from repro.plan.opt import (
+    OptimizationResult,
+    Optimizer,
+    RuleFiring,
+    default_optimizer,
+    optimize_for,
+    optimize_logical,
+)
+from repro.plan.route import (
+    RoutingDecision,
+    choose_engine,
+    engine_guard,
+    estimate_plan_cost,
+    supports,
+)
 
 # Engine name -> module that exposes lower(plan, ctx).
 ENGINE_LOWERINGS = {
@@ -57,8 +72,19 @@ __all__ = [
     "PSEUDO_OVERHEAD",
     "PSEUDO_RECOVERY",
     "ENGINE_LOWERINGS",
+    "OptimizationResult",
+    "Optimizer",
+    "RoutingDecision",
+    "RuleFiring",
     "astro_plan",
+    "choose_engine",
+    "default_optimizer",
+    "engine_guard",
+    "estimate_plan_cost",
     "lower",
     "neuro_plan",
+    "optimize_for",
+    "optimize_logical",
     "provenance_id",
+    "supports",
 ]

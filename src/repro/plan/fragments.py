@@ -1,0 +1,145 @@
+"""Plan fragments: the micro-benchmark slices of the two pipelines.
+
+Figures 11 and 12 measure individual steps (ingest, filter, mean,
+denoise, coadd) rather than whole pipelines.  Instead of hand-writing
+each step a second time, a *fragment* is carved out of the full logical
+plan: the ancestor closure of one op, keeping the parent plan's name and
+params.  Keeping the name is deliberate — provenance ids
+(``"neuro/b0"``), emitted MyriaL text, and memo keys must be identical
+whether an op runs inside the full pipeline or inside its
+micro-benchmark slice, so the fig11/fig12 baselines stay byte-stable.
+
+Fragments are ordinary :class:`~repro.plan.ir.LogicalPlan` objects: they
+validate, lower, and optimize like any plan.  :func:`glue` composes
+fragments into one plan (renaming colliding op ids), which is what makes
+the optimizer's common-subexpression rule earn its keep: two glued
+fragments re-declare the same scan chain, and CSE merges them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace as _dc_replace
+
+from repro.plan.astro import astro_plan
+from repro.plan.ir import PlanError
+from repro.plan.ir import materialize as _mk_materialize
+from repro.plan.neuro import neuro_plan
+
+
+def fragment(plan, last, outputs=()):
+    """The ancestor closure of ``last`` as a standalone plan.
+
+    Includes ``last``, its parents, its broadcast side inputs
+    (``uses``), and so on transitively, in the original plan order.
+    ``outputs`` optionally declares the fragment's live materializes
+    (see ``LogicalPlan.outputs``) so the optimizer may elide dead ones.
+    """
+    by_id = {op.op_id: op for op in plan.ops}
+    if last not in by_id:
+        raise PlanError(f"{plan.name}: no op {last!r} to take a fragment of")
+    keep = set()
+    frontier = [last]
+    while frontier:
+        op_id = frontier.pop()
+        if op_id in keep:
+            continue
+        keep.add(op_id)
+        op = by_id[op_id]
+        frontier.extend(op.parents)
+        frontier.extend(op.uses)
+    params = dict(plan.params)
+    if outputs:
+        params["outputs"] = tuple(outputs)
+    ops = [op for op in plan.ops if op.op_id in keep]
+    tail = by_id[last]
+    if tail.kind != "materialize":
+        # A fragment measures an interior op, so its sink would be a
+        # dead non-materialize — exactly what validate() rejects.  Give
+        # the slice an explicit materialize sink; lowerings never see it
+        # (they lower the chain window ending at ``last``).
+        ops.append(_mk_materialize(
+            f"{last}.sink", last,
+            step=tail.step, blame=tail.blame or tail.op_id,
+        ))
+    sliced = _dc_replace(plan, ops=tuple(ops), params=params)
+    return sliced.validate()
+
+
+def glue(*fragments, rename=None):
+    """Compose fragments into one plan, renaming colliding op ids.
+
+    The first fragment's ops keep their ids; a later fragment's op
+    whose id is already taken gets a ``.2``/``.3``... suffix (its
+    parents and uses are rewritten to match).  The result deliberately
+    re-declares any shared prefix — running the optimizer's CSE rule
+    afterwards merges the duplicates back into one chain.
+    """
+    if not fragments:
+        raise PlanError("glue needs at least one fragment")
+    base = fragments[0]
+    ops = list(base.ops)
+    taken = {op.op_id for op in ops}
+    for index, frag in enumerate(fragments[1:], start=2):
+        if frag.name != base.name:
+            raise PlanError(
+                f"cannot glue {frag.name!r} onto {base.name!r}: fragments "
+                f"must come from the same pipeline"
+            )
+        mapping = {}
+        for op in frag.ops:
+            new_id = op.op_id
+            if new_id in taken:
+                new_id = rename(op.op_id, index) if rename \
+                    else f"{op.op_id}.{index}"
+            if new_id in taken:
+                raise PlanError(f"glue: renamed id {new_id!r} still collides")
+            mapping[op.op_id] = new_id
+            taken.add(new_id)
+        for op in frag.ops:
+            ops.append(_dc_replace(
+                op,
+                op_id=mapping[op.op_id],
+                parents=tuple(mapping[p] for p in op.parents),
+                uses=tuple(mapping[u] for u in op.uses),
+            ))
+    glued = _dc_replace(base, ops=tuple(ops), params=dict(base.params))
+    return glued.validate()
+
+
+# ----------------------------------------------------------------------
+# The named slices figures 11 and 12 run
+# ----------------------------------------------------------------------
+
+def neuro_scan_fragment(**kwargs):
+    """Fig 11: just the ``volumes`` scan (ingest)."""
+    return fragment(neuro_plan(**kwargs), "volumes")
+
+
+def neuro_filter_fragment(**kwargs):
+    """Fig 12a: ``volumes -> b0`` (select the non-diffusion volumes)."""
+    return fragment(neuro_plan(**kwargs), "b0")
+
+
+def neuro_mean_fragment(**kwargs):
+    """Fig 12b: ``volumes -> b0 -> mean_b0`` (per-subject mean)."""
+    return fragment(neuro_plan(**kwargs), "mean_b0")
+
+
+def neuro_mask_fragment(**kwargs):
+    """Segmentation slice: everything up to the ``masks`` materialize."""
+    return fragment(neuro_plan(**kwargs), "masks")
+
+
+def neuro_denoise_fragment(**kwargs):
+    """Fig 12c: up to ``denoise`` (includes the mask chain it uses)."""
+    return fragment(neuro_plan(**kwargs), "denoise")
+
+
+def astro_coadd_fragment(**kwargs):
+    """Fig 12d: ``exposures -> ... -> coadd``."""
+    return fragment(astro_plan(**kwargs), "coadd")
+
+
+def astro_preprocess_fragment(**kwargs):
+    """Pre-processing slice: ``exposures -> preprocess``."""
+    return fragment(astro_plan(**kwargs), "preprocess")

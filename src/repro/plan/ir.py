@@ -124,6 +124,64 @@ def materialize(op_id, parent, *, step, blame, **params):
               params=params)
 
 
+# ----------------------------------------------------------------------
+# Fused operators (produced by the optimizer, never written by hand)
+# ----------------------------------------------------------------------
+
+#: Param key under which a fused op carries its constituent members.
+FUSED_PARAM = "fused"
+
+#: Separator joining member op ids into a fused op id
+#: (``"preprocess+patches"``).
+FUSED_SEP = "+"
+
+
+def is_fused(op):
+    """True when ``op`` is an optimizer-fused carrier of several ops."""
+    return FUSED_PARAM in op.params
+
+
+def member_doc(op):
+    """Serializable description of one op for embedding in a fused
+    carrier's params (JSON-stable, round-trips through
+    :func:`fused_members`)."""
+    return {
+        "op_id": op.op_id,
+        "kind": op.kind,
+        "step": op.step,
+        "uses": list(op.uses),
+        "params": dict(op.params),
+    }
+
+
+def fused_members(op):
+    """The constituent :class:`Op` sequence a fused carrier stands for.
+
+    Members come back with linearized parent edges (the first member
+    inherits the carrier's parents, each later member chains on the
+    previous one), so lowerings can expand a fused op into exactly the
+    original physical sequence.  A non-fused op is its own single
+    member.
+    """
+    docs = op.params.get(FUSED_PARAM)
+    if not docs:
+        return (op,)
+    members = []
+    prev = op.parents
+    for doc in docs:
+        member = Op(
+            doc["op_id"],
+            doc["kind"],
+            tuple(prev),
+            step=doc["step"],
+            uses=tuple(doc["uses"]),
+            params=dict(doc["params"]),
+        )
+        members.append(member)
+        prev = (member.op_id,)
+    return tuple(members)
+
+
 @dataclass(frozen=True)
 class LogicalPlan:
     """An ordered DAG of :class:`Op` nodes plus plan-level parameters."""
@@ -138,15 +196,48 @@ class LogicalPlan:
                 return op
         raise KeyError(op_id)
 
+    def carrier_of(self, op_id):
+        """The op that *carries* ``op_id``: the op itself, or the fused
+        carrier one of whose members it became after optimization."""
+        for op in self.ops:
+            if op.op_id == op_id:
+                return op
+            if is_fused(op):
+                for doc in op.params[FUSED_PARAM]:
+                    if doc["op_id"] == op_id:
+                        return op
+        raise KeyError(op_id)
+
+    def member_param(self, op_id, name, default=None):
+        """Param lookup that sees through fusion: reads ``name`` from the
+        original op even when it now lives inside a fused carrier."""
+        carrier = self.carrier_of(op_id)
+        for member in fused_members(carrier):
+            if member.op_id == op_id:
+                return member.param(name, default)
+        return carrier.param(name, default)
+
+    def member(self, op_id):
+        """The original op with ``op_id``, seen through fusion: the op
+        itself, or its reconstructed member if the optimizer folded it
+        into a fused carrier.  Raises ``KeyError`` for unknown ids."""
+        carrier = self.carrier_of(op_id)
+        for member in fused_members(carrier):
+            if member.op_id == op_id:
+                return member
+        return carrier
+
     def chain(self, first, last):
         """The linear run of ops from ``first`` to ``last`` inclusive.
 
         Follows single-parent edges backward from ``last``; raises
         :class:`PlanError` if the segment branches or never reaches
-        ``first``.
+        ``first``.  Endpoints may name ops that fusion folded into a
+        carrier; the returned segment is then the carrier sequence.
         """
-        segment = [self.op(last)]
-        while segment[-1].op_id != first:
+        first_carrier = self.carrier_of(first).op_id
+        segment = [self.carrier_of(last)]
+        while segment[-1].op_id != first_carrier:
             op = segment[-1]
             if len(op.parents) != 1:
                 raise PlanError(
@@ -156,13 +247,30 @@ class LogicalPlan:
             segment.append(self.op(op.parents[0]))
         return tuple(reversed(segment))
 
+    def expanded_chain(self, first, last):
+        """Like :meth:`chain` but with fused carriers expanded back to
+        their original member ops.
+
+        The expansion is trimmed to the ``[first, last]`` window: a
+        carrier straddling an endpoint only contributes the members
+        inside the window.  Lowerings that execute ops one-by-one (the
+        Spark walker) use this so an optimizer-fused plan lowers to the
+        exact physical sequence the naive plan does.
+        """
+        ops = []
+        for op in self.chain(first, last):
+            ops.extend(fused_members(op))
+        start = next(i for i, op in enumerate(ops) if op.op_id == first)
+        stop = next(i for i, op in enumerate(ops) if op.op_id == last)
+        return tuple(ops[start:stop + 1])
+
     def children_of(self, op_id):
         return tuple(op for op in self.ops if op_id in op.parents)
 
     def provenance(self, op_id):
         """Stable provenance id of ``op_id`` (raises ``KeyError`` if the
-        op does not exist in this plan)."""
-        return provenance_id(self.name, self.op(op_id).op_id)
+        op does not exist in this plan, even as a fused member)."""
+        return provenance_id(self.name, self.member(op_id).op_id)
 
     def provenance_ids(self):
         """Provenance ids of every op, in plan order."""
@@ -202,12 +310,104 @@ class LogicalPlan:
         self.op(op_id)  # raise KeyError for unknown ids
         return self.fingerprints()[op_id]
 
+    def structural_fingerprints(self):
+        """op_id -> fingerprint of the op's *structure*, ignoring ids.
+
+        Unlike :meth:`fingerprints` the op's own name is left out of the
+        hash, so two ops with identical kind/params/step over identical
+        upstream structure collide — exactly the equivalence the CSE
+        rewrite rule needs.  Cache keys must keep using
+        :meth:`fingerprints` (ids are part of a window's address).
+        """
+        fps = {}
+        base = _fingerprint_canon({"plan": self.name, "params": self.params})
+        for op in self.ops:
+            doc = _fingerprint_canon({
+                "base": base,
+                "kind": op.kind,
+                "step": op.step,
+                "blame": op.blame,
+                "params": op.params,
+                "parents": [fps[p] for p in op.parents],
+                "uses": [fps[u] for u in op.uses],
+            })
+            fps[op.op_id] = hashlib.sha256(doc.encode("utf-8")).hexdigest()
+        return fps
+
+    def outputs(self):
+        """Op ids of the results the figure consumes.
+
+        Declared explicitly via ``params["outputs"]``; otherwise every
+        childless ``materialize`` is assumed consumed (so the
+        materialize-elision rule never fires on a plan that does not opt
+        in by declaring its outputs).
+        """
+        declared = self.params.get("outputs")
+        if declared is not None:
+            return tuple(declared)
+        return tuple(
+            op.op_id for op in self.ops
+            if op.kind == "materialize" and not self.children_of(op.op_id)
+        )
+
+    def replace_ops(self, ops):
+        """A copy of this plan with a new op tuple (params unchanged)."""
+        return LogicalPlan(name=self.name, ops=tuple(ops), params=self.params)
+
+    def _check_well_formed(self):
+        """Reject duplicate op ids and cyclic parent references.
+
+        These are structural defects the per-op lints below cannot
+        diagnose well (a cycle shows up as a forward reference); each
+        diagnostic names the offending op.
+        """
+        ids = []
+        for op in self.ops:
+            if op.op_id in ids:
+                raise PlanError(
+                    f"{self.name}: duplicate op id {op.op_id!r} "
+                    f"(second definition is a {op.kind})"
+                )
+            ids.append(op.op_id)
+        by_id = {op.op_id: op for op in self.ops}
+        # Iterative three-color DFS over parent edges; a back edge means
+        # the parent references are cyclic.
+        state = {}  # op_id -> "active" | "done"
+        for root in ids:
+            if state.get(root) == "done":
+                continue
+            stack = [(root, iter(by_id[root].parents))]
+            state[root] = "active"
+            path = [root]
+            while stack:
+                op_id, parents = stack[-1]
+                advanced = False
+                for parent in parents:
+                    if parent not in by_id:
+                        continue  # undefined parent: per-op lint reports it
+                    if state.get(parent) == "active":
+                        cycle = path[path.index(parent):] + [parent]
+                        raise PlanError(
+                            f"{self.name}: cyclic parent references "
+                            f"involving {parent!r}: "
+                            + " -> ".join(cycle)
+                        )
+                    if state.get(parent) != "done":
+                        state[parent] = "active"
+                        stack.append((parent, iter(by_id[parent].parents)))
+                        path.append(parent)
+                        advanced = True
+                        break
+                if not advanced:
+                    state[op_id] = "done"
+                    stack.pop()
+                    path.pop()
+
     def validate(self):
         """Lint the plan; raises :class:`PlanError` on the first defect."""
+        self._check_well_formed()
         seen = set()
         for op in self.ops:
-            if op.op_id in seen:
-                raise PlanError(f"{self.name}: duplicate op id {op.op_id!r}")
             if op.kind not in OP_KINDS:
                 raise PlanError(
                     f"{self.name}: {op.op_id!r} has unknown kind {op.kind!r}"

@@ -1,0 +1,52 @@
+"""Materialize elision: drop results nothing consumes.
+
+A ``materialize`` with no downstream consumer that is not one of the
+plan's declared outputs (``params["outputs"]``) forces a collect the
+figure never reads.  Eliding it — together with any upstream ops left
+without a consumer — removes the whole dead branch.  Plans that do not
+declare outputs treat every childless materialize as consumed, so the
+rule is a no-op unless a plan opts in (fragment compositions and
+exploratory sessions do).
+"""
+
+from repro.plan.opt import RewriteRule
+from repro.plan.rules.base import consumers_of, drop
+
+
+class ElideDeadMaterialize(RewriteRule):
+    """Remove unconsumed non-output materializes and their dead branch."""
+
+    name = "elide-dead-materialize"
+
+    def sites(self, plan):
+        outputs = set(plan.outputs())
+        for op in plan.ops:
+            if op.kind != "materialize" or op.op_id in outputs:
+                continue
+            if not consumers_of(plan, op.op_id):
+                yield (op.op_id,)
+
+    def apply(self, plan, site):
+        (dead_id,) = site
+        outputs = set(plan.outputs())
+        current = plan.replace_ops(drop(plan.ops, dead_id))
+        # Cascade: an op whose only consumer was the elided branch is
+        # dead too (the structural win — whole sub-DAGs disappear).
+        while True:
+            removable = [
+                op.op_id for op in current.ops
+                if op.op_id not in outputs
+                and not consumers_of(current, op.op_id)
+                and op.kind != "materialize"
+            ]
+            if not removable:
+                break
+            current = current.replace_ops(drop(current.ops, removable[0]))
+        return current.validate()
+
+    def describe(self, plan, site):
+        (dead_id,) = site
+        return (
+            f"elide materialize {dead_id!r} (no consumer, not a declared "
+            f"output) and its dead upstream branch"
+        )

@@ -1,0 +1,68 @@
+"""Filter/selection pushdown through metadata-preserving maps.
+
+A filter whose predicate reads only record *metadata* (subject id,
+image id, band — never the transformed payload) commutes with any map
+that preserves that metadata.  Both facts are opt-in annotations on the
+ops: the map declares ``preserves_meta=True``, the filter declares
+``on_meta=True`` (side-channel-free predicates like ``is_b0``).
+Pushing the filter below the map means the map's kernel runs on fewer
+records — a strict win whenever the filter is selective, priced by the
+per-engine estimator as the map's per-record cost over the records the
+filter would have dropped.
+"""
+
+from dataclasses import replace as _dc_replace
+
+from repro.plan.opt import RewriteRule
+from repro.plan.rules.base import consumers_of, rewire
+
+
+class PushFilterThroughMap(RewriteRule):
+    """filter(map(x)) -> map(filter(x)) for meta-only predicates."""
+
+    name = "push-filter-through-map"
+
+    def sites(self, plan):
+        order = {op.op_id: i for i, op in enumerate(plan.ops)}
+        for f in plan.ops:
+            if f.kind != "filter" or len(f.parents) != 1:
+                continue
+            if not f.param("on_meta", False):
+                continue
+            try:
+                m = plan.op(f.parents[0])
+            except KeyError:
+                continue
+            if m.kind != "map" or not m.param("preserves_meta", False):
+                continue
+            if len(consumers_of(plan, m.op_id)) != 1:
+                continue
+            # The filter moves above the map: its broadcast side inputs
+            # must already be defined there.
+            if any(order[u] > order[m.op_id] for u in f.uses):
+                continue
+            yield (f.op_id, m.op_id)
+
+    def apply(self, plan, site):
+        f_id, m_id = site
+        f = plan.op(f_id)
+        m = plan.op(m_id)
+        new_f = _dc_replace(f, parents=m.parents)
+        new_m = _dc_replace(m, parents=(f.op_id,))
+        ops = []
+        for op in plan.ops:
+            if op.op_id == m.op_id:
+                ops.extend([new_f, new_m])
+            elif op.op_id == f.op_id:
+                continue
+            else:
+                # Consumers of the filter's output now read the map's.
+                ops.extend(rewire((op,), f.op_id, m.op_id))
+        return plan.replace_ops(ops).validate()
+
+    def describe(self, plan, site):
+        f_id, m_id = site
+        return (
+            f"push filter {f_id!r} below map {m_id!r} "
+            f"(kernel runs on fewer records)"
+        )

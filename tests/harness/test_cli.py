@@ -45,7 +45,7 @@ def test_experiment_registry_complete():
     expected = {
         "table1", "fig10a", "fig10b", "fig10c", "fig10d", "fig10e",
         "fig10f", "fig10g", "fig10h", "fig11", "fig12a", "fig12b",
-        "fig12c", "fig12d", "fig13", "fig14", "fig15", "f16", "s531",
-        "s533", "ablation", "ablation-tf", "ablation-tuning",
+        "fig12c", "fig12d", "fig13", "fig14", "fig15", "f16", "opt",
+        "s531", "s533", "ablation", "ablation-tf", "ablation-tuning",
     }
     assert set(EXPERIMENTS) == expected

@@ -1,0 +1,86 @@
+"""The ``harness optimize`` subcommand and the optimizer gate logic."""
+
+import pytest
+
+from repro.harness.__main__ import (
+    EXPERIMENTS,
+    QUICK_ASTRO,
+    QUICK_NEURO,
+    _opt_failures,
+    main,
+)
+from repro.harness.experiments import optimize_token, routing_table
+
+
+def test_opt_experiment_registered():
+    assert "opt" in EXPERIMENTS
+
+
+def test_optimize_explain_quick(capsys):
+    assert main(["optimize", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "Rule firing trace" in out
+    # The one accepted rewrite chain: astro on Dask.
+    assert "fuse 'preprocess' into 'exposures'" in out
+    assert "(no rewrites accepted" in out
+    assert "Router decisions" in out
+    assert "neuro: routed to myria" in out
+    assert "astro: routed to myria" in out
+
+
+def test_optimize_single_engine_trace(capsys):
+    assert main(["optimize", "--quick", "--engines", "spark"]) == 0
+    out = capsys.readouterr().out
+    assert "neuro/spark" in out
+    assert "dask" not in out.split("Router decisions")[0]
+
+
+def test_unsupported_route_value_rejected():
+    with pytest.raises(SystemExit):
+        main(["fig10c", "--quick", "--route", "spark"])
+
+
+def test_opt_failures_gate():
+    good = {"pipeline": "neuro", "engine": "dask",
+            "naive_s": 10.0, "optimized_s": 9.5, "identical": True}
+    slow = dict(good, engine="spark", optimized_s=10.5)
+    diff = dict(good, engine="myria", identical=False)
+    assert _opt_failures([good]) == []
+    failures = _opt_failures([good, slow, diff])
+    assert len(failures) == 2
+    assert any("neuro/spark" in f and "exceeds" in f for f in failures)
+    assert any("neuro/myria" in f and "byte-identical" in f for f in failures)
+
+
+def test_opt_failures_tolerate_float_noise():
+    row = {"pipeline": "astro", "engine": "dask",
+           "naive_s": 10.0, "optimized_s": 10.0 + 1e-9, "identical": True}
+    assert _opt_failures([row]) == []
+
+
+def test_optimize_token_is_truthy_and_engine_specific():
+    tokens = {
+        kind: optimize_token("neuro", kind, 1, QUICK_NEURO)
+        for kind in ("dask", "spark")
+    }
+    assert all(tokens.values())  # truthy: doubles as the optimize flag
+    assert tokens["dask"] != tokens["spark"]
+    # Content-addressed: same inputs, same token.
+    assert optimize_token("neuro", "dask", 1, QUICK_NEURO) == tokens["dask"]
+
+
+def test_optimize_token_astro_reflects_firings():
+    token = optimize_token("astro", "dask", 1, QUICK_ASTRO)
+    assert token != optimize_token("astro", "spark", 1, QUICK_ASTRO)
+
+
+def test_routing_table_rows():
+    rows = routing_table(n_subjects=1, n_visits=1,
+                         neuro_profile=QUICK_NEURO,
+                         astro_profile=QUICK_ASTRO)
+    pipelines = {row["pipeline"] for row in rows}
+    assert pipelines == {"neuro", "astro"}
+    chosen = [row for row in rows if row.get("chosen")]
+    assert len(chosen) == 2
+    refused = [row for row in rows if "refused" in row]
+    assert {row["engine"] for row in refused} == {"scidb", "tensorflow"}

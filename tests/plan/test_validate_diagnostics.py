@@ -1,0 +1,99 @@
+"""Diagnostics of ``LogicalPlan.validate`` name the offending op.
+
+``_check_well_formed`` runs before the per-op lints so that duplicate
+ids and cyclic parent references — defects that would otherwise surface
+as confusing forward-reference errors — get their own messages carrying
+the op id (and, for cycles, the cycle path itself).
+"""
+
+import pytest
+
+from repro.plan import PlanError
+from repro.plan.ir import (
+    LogicalPlan,
+    Op,
+    filter_,
+    map_,
+    materialize,
+    scan,
+)
+
+
+def _validate(*ops, name="diag"):
+    return LogicalPlan(name=name, ops=tuple(ops)).validate()
+
+
+def test_duplicate_id_names_op_and_second_kind():
+    with pytest.raises(PlanError) as err:
+        _validate(
+            scan("src", step="Ingest", format="npy"),
+            materialize("src", "src", step="Ingest", blame="out"),
+        )
+    assert "diag: duplicate op id 'src'" in str(err.value)
+    assert "(second definition is a materialize)" in str(err.value)
+
+
+def test_duplicate_reported_before_other_lints():
+    # The second 'src' is also a blame-less materialize; the duplicate
+    # diagnostic must win because well-formedness runs first.
+    with pytest.raises(PlanError, match="duplicate op id"):
+        _validate(
+            scan("src", step="Ingest", format="npy"),
+            materialize("src", "src", step="Ingest", blame=None),
+        )
+
+
+def test_two_cycle_names_participant_and_path():
+    a = Op(op_id="a", kind="filter", parents=("b",), step="S")
+    b = Op(op_id="b", kind="map", parents=("a",), step="S")
+    with pytest.raises(PlanError) as err:
+        _validate(a, b)
+    message = str(err.value)
+    assert "cyclic parent references involving" in message
+    # The rendered path walks back to the repeated op.
+    assert " -> " in message
+
+
+def test_self_cycle_detected():
+    loop = Op(op_id="loop", kind="map", parents=("loop",), step="S")
+    with pytest.raises(PlanError) as err:
+        _validate(loop)
+    assert "cyclic parent references involving 'loop'" in str(err.value)
+    assert "loop -> loop" in str(err.value)
+
+
+def test_long_cycle_path_lists_every_member():
+    a = Op(op_id="a", kind="map", parents=("c",), step="S")
+    b = Op(op_id="b", kind="map", parents=("a",), step="S")
+    c = Op(op_id="c", kind="map", parents=("b",), step="S")
+    with pytest.raises(PlanError) as err:
+        _validate(a, b, c)
+    message = str(err.value)
+    for op_id in ("a", "b", "c"):
+        assert op_id in message
+
+
+def test_cycle_unreachable_from_outputs_still_rejected():
+    # The healthy chain validates on its own; the detached cycle must
+    # still be found (the DFS roots at every op, not just sinks).
+    healthy = [
+        scan("src", step="Ingest", format="npy"),
+        materialize("out", "src", step="Ingest", blame="out"),
+    ]
+    x = Op(op_id="x", kind="map", parents=("y",), step="S")
+    y = Op(op_id="y", kind="map", parents=("x",), step="S")
+    with pytest.raises(PlanError, match="cyclic parent references"):
+        _validate(*healthy, x, y)
+
+
+def test_valid_diamond_is_not_a_false_positive():
+    # Two paths converging on one op share ancestors without cycling.
+    plan = _validate(
+        scan("src", step="S", format="npy"),
+        map_("left", "src", step="S"),
+        filter_("right", "src", step="S"),
+        Op(op_id="both", kind="join", parents=("left", "right"), step="S",
+           params={"on": "k"}),
+        materialize("out", "both", step="S", blame="out"),
+    )
+    assert plan.op("both").parents == ("left", "right")
